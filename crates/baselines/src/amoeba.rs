@@ -1,0 +1,131 @@
+//! The *Amoeba* baseline (Zhang et al., EuroSys 2015; §V-A of the paper).
+//!
+//! Amoeba is an inter-DC flow scheduler that admits deadline-constrained
+//! transfers one by one under a fixed amount of bandwidth: a request is
+//! accepted iff the residual bandwidth can accommodate it on some path,
+//! "without considering future requests" (the property the paper's Fig. 4
+//! exploits). The original system is not open source; this implementation
+//! reproduces the admission behaviour the paper evaluates against:
+//! first-fit over candidate paths in arrival order.
+
+use metis_core::{Schedule, SpmInstance};
+use metis_netsim::LoadMatrix;
+use metis_workload::RequestId;
+
+/// Online one-by-one admission under fixed per-edge capacities.
+///
+/// Requests are processed in arrival order (their id order, which the
+/// workload generator emits sorted by arrival). Each request takes the
+/// first candidate path whose residual capacity fits its rate during its
+/// active slots, and is declined if none fits.
+///
+/// # Panics
+///
+/// Panics if `capacities.len()` differs from the topology's edge count.
+pub fn amoeba(instance: &SpmInstance, capacities: &[f64]) -> Schedule {
+    assert_eq!(
+        capacities.len(),
+        instance.topology().num_edges(),
+        "capacity vector length mismatch"
+    );
+    let mut schedule = Schedule::decline_all(instance.num_requests());
+    let mut load = LoadMatrix::new(instance.topology().num_edges(), instance.num_slots());
+    for (i, (r, paths)) in instance.iter().enumerate() {
+        let fit = paths.iter().position(|path| {
+            path.edges()
+                .iter()
+                .all(|&e| load.fits(e, r.start, r.end, r.rate, capacities[e.index()]))
+        });
+        if let Some(j) = fit {
+            for &e in paths[j].edges() {
+                load.add(e, r.start, r.end, r.rate);
+            }
+            schedule.set(RequestId(i as u32), Some(j));
+        }
+    }
+    schedule
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metis_netsim::topologies;
+    use metis_workload::{generate, WorkloadConfig};
+
+    fn instance(k: usize, seed: u64) -> SpmInstance {
+        let topo = topologies::b4();
+        let reqs = generate(&topo, &WorkloadConfig::paper(k, seed));
+        SpmInstance::new(topo, reqs, 12, 3)
+    }
+
+    #[test]
+    fn generous_capacity_accepts_all() {
+        let inst = instance(30, 1);
+        let s = amoeba(&inst, &vec![100.0; 38]);
+        assert_eq!(s.num_accepted(), 30);
+    }
+
+    #[test]
+    fn zero_capacity_accepts_none() {
+        let inst = instance(10, 2);
+        let s = amoeba(&inst, &vec![0.0; 38]);
+        assert_eq!(s.num_accepted(), 0);
+    }
+
+    #[test]
+    fn result_respects_capacities() {
+        for seed in 0..4 {
+            let inst = instance(120, seed);
+            let caps = vec![1.0; 38];
+            let s = amoeba(&inst, &caps);
+            s.check_capacities(&inst, &caps)
+                .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+            assert!(s.num_accepted() < 120, "tight capacity must decline some");
+        }
+    }
+
+    #[test]
+    fn admission_is_first_fit_in_arrival_order() {
+        // With capacity for exactly one of two identical overlapping
+        // requests, the earlier one wins.
+        let topo = topologies::sub_b4();
+        let mk = |id: u32, value: f64| metis_workload::Request {
+            id: RequestId(id),
+            src: metis_netsim::NodeId(0),
+            dst: metis_netsim::NodeId(1),
+            start: 0,
+            end: 11,
+            rate: 0.8,
+            value,
+        };
+        // The later request is more valuable — Amoeba doesn't care.
+        let inst = SpmInstance::new(topo, vec![mk(0, 1.0), mk(1, 100.0)], 12, 1);
+        let s = amoeba(&inst, &vec![1.0; inst.topology().num_edges()]);
+        assert!(s.is_accepted(RequestId(0)));
+        assert!(!s.is_accepted(RequestId(1)));
+    }
+
+    #[test]
+    fn spills_to_alternative_paths() {
+        // Two requests whose first-choice path collides: the second must
+        // take an alternative rather than being declined.
+        let topo = topologies::sub_b4();
+        let mk = |id: u32| metis_workload::Request {
+            id: RequestId(id),
+            src: metis_netsim::NodeId(0),
+            dst: metis_netsim::NodeId(3),
+            start: 0,
+            end: 11,
+            rate: 0.7,
+            value: 1.0,
+        };
+        let inst = SpmInstance::new(topo, vec![mk(0), mk(1)], 12, 3);
+        let s = amoeba(&inst, &vec![1.0; inst.topology().num_edges()]);
+        assert_eq!(s.num_accepted(), 2);
+        assert_ne!(
+            s.path_choice(RequestId(0)),
+            s.path_choice(RequestId(1)),
+            "colliding requests must diverge"
+        );
+    }
+}

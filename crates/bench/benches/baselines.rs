@@ -1,0 +1,42 @@
+//! Baseline schedulers: throughput of MinCost / Amoeba / EcoFlow and the
+//! exact MILP at a tractable size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use metis_baselines::{amoeba, ecoflow, mincost, opt_spm};
+use metis_core::SpmInstance;
+use metis_lp::IlpOptions;
+use metis_netsim::topologies;
+use metis_workload::{generate, WorkloadConfig};
+
+fn b4_instance(k: usize) -> SpmInstance {
+    let topo = topologies::b4();
+    let requests = generate(&topo, &WorkloadConfig::paper(k, 1));
+    SpmInstance::new(topo, requests, 12, 3)
+}
+
+fn bench_heuristics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baselines/k400_b4");
+    g.sample_size(10);
+    let inst = b4_instance(400);
+    let caps = vec![10.0; inst.topology().num_edges()];
+    g.bench_function("mincost", |b| b.iter(|| mincost(&inst)));
+    g.bench_function("amoeba", |b| b.iter(|| amoeba(&inst, &caps)));
+    g.bench_function("ecoflow", |b| b.iter(|| ecoflow(&inst)));
+    g.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut g = c.benchmark_group("baselines/opt_spm_sub_b4");
+    g.sample_size(10);
+    let topo = topologies::sub_b4();
+    let requests = generate(&topo, &WorkloadConfig::paper(10, 1));
+    let inst = SpmInstance::new(topo, requests, 12, 2);
+    g.bench_function("k10_exact", |b| {
+        b.iter(|| opt_spm(&inst, &IlpOptions::default()).expect("opt"));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_heuristics, bench_exact);
+criterion_main!(benches);

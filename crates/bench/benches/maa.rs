@@ -1,0 +1,47 @@
+//! MAA (RL-SPM solver) end-to-end cost and scaling — backs Fig. 4a and
+//! the §V-B1 timing claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use metis_core::{maa, MaaOptions, SpmInstance};
+use metis_netsim::topologies;
+use metis_workload::{generate, WorkloadConfig};
+
+fn instance(k: usize) -> SpmInstance {
+    let topo = topologies::b4();
+    let requests = generate(&topo, &WorkloadConfig::paper(k, 1));
+    SpmInstance::new(topo, requests, 12, 3)
+}
+
+fn bench_maa_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("maa/b4");
+    g.sample_size(10);
+    for k in [50usize, 100, 200, 400] {
+        let inst = instance(k);
+        let accepted = vec![true; k];
+        g.bench_with_input(BenchmarkId::from_parameter(k), &inst, |b, inst| {
+            b.iter(|| maa(inst, &accepted, &MaaOptions::default()).expect("maa"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_maa_repeats(c: &mut Criterion) {
+    let mut g = c.benchmark_group("maa/rounding_repeats_k200");
+    g.sample_size(10);
+    let inst = instance(200);
+    let accepted = vec![true; 200];
+    for repeats in [1usize, 8, 32] {
+        let opts = MaaOptions {
+            rounding_repeats: repeats,
+            ..MaaOptions::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(repeats), &opts, |b, opts| {
+            b.iter(|| maa(&inst, &accepted, opts).expect("maa"));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_maa_scaling, bench_maa_repeats);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Full Metis alternation: θ scaling and limiter-rule ablation — the
+//! "several hundred milliseconds" end-to-end claim of §V-B1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use metis_core::{metis, LimiterRule, MetisConfig, SpmInstance};
+use metis_netsim::topologies;
+use metis_workload::{generate, WorkloadConfig};
+
+fn instance(k: usize, sub: bool) -> SpmInstance {
+    let topo = if sub {
+        topologies::sub_b4()
+    } else {
+        topologies::b4()
+    };
+    let requests = generate(&topo, &WorkloadConfig::paper(k, 1));
+    SpmInstance::new(topo, requests, 12, 3)
+}
+
+fn bench_metis_theta(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metis/theta_k100_b4");
+    g.sample_size(10);
+    let inst = instance(100, false);
+    for theta in [1usize, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(theta), &theta, |b, &theta| {
+            b.iter(|| metis(&inst, &MetisConfig::with_theta(theta)).expect("metis"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_metis_sub_b4_k400(c: &mut Criterion) {
+    // The paper's timing anchor: K = 400 on SUB-B4 in "several hundred
+    // milliseconds" vs over 1000 s for OPT(SPM).
+    let mut g = c.benchmark_group("metis/sub_b4_k400");
+    g.sample_size(10);
+    let inst = instance(400, true);
+    g.bench_function("theta8", |b| {
+        b.iter(|| metis(&inst, &MetisConfig::with_theta(8)).expect("metis"));
+    });
+    g.finish();
+}
+
+fn bench_limiter_rules(c: &mut Criterion) {
+    let mut g = c.benchmark_group("metis/limiter_k100_b4");
+    g.sample_size(10);
+    let inst = instance(100, false);
+    for (name, rule) in [
+        ("min_util", LimiterRule::MinUtilization),
+        ("max_price", LimiterRule::MaxPrice),
+        ("uniform", LimiterRule::UniformShrink),
+    ] {
+        let config = MetisConfig {
+            theta: 8,
+            limiter: rule,
+            ..MetisConfig::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| metis(&inst, config).expect("metis"));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_metis_theta,
+    bench_metis_sub_b4_k400,
+    bench_limiter_rules
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Raw LP-solver scaling: the engine under every Metis component.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use metis_core::{solve_rlspm_relaxation, SpmInstance};
+use metis_lp::{Problem, Relation, Sense, SolveOptions};
+use metis_netsim::topologies;
+use metis_workload::{generate, WorkloadConfig};
+
+/// A dense-ish transportation-style LP with `n` supplies and `n` demands
+/// (deterministic coefficients).
+fn transportation_lp(n: usize) -> Problem {
+    let mut p = Problem::new(Sense::Minimize);
+    let mut vars = Vec::with_capacity(n * n);
+    for i in 0..n {
+        for j in 0..n {
+            let cost = 1.0 + ((i * 7 + j * 13) % 17) as f64;
+            vars.push(p.add_var(cost, 0.0, f64::INFINITY));
+        }
+    }
+    for i in 0..n {
+        p.add_constraint(
+            (0..n).map(|j| (vars[i * n + j], 1.0)),
+            Relation::Le,
+            10.0 + (i % 3) as f64,
+        );
+    }
+    for j in 0..n {
+        p.add_constraint(
+            (0..n).map(|i| (vars[i * n + j], 1.0)),
+            Relation::Ge,
+            5.0 + (j % 4) as f64,
+        );
+    }
+    p
+}
+
+fn bench_transportation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simplex/transportation");
+    g.sample_size(10);
+    for n in [10usize, 20, 40] {
+        let p = transportation_lp(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &p, |b, p| {
+            b.iter(|| p.solve().expect("feasible"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_rlspm_relaxation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simplex/rlspm_relaxation_b4");
+    g.sample_size(10);
+    for k in [50usize, 100, 200] {
+        let topo = topologies::b4();
+        let requests = generate(&topo, &WorkloadConfig::paper(k, 1));
+        let instance = SpmInstance::new(topo, requests, 12, 3);
+        let accepted = vec![true; k];
+        g.bench_with_input(BenchmarkId::from_parameter(k), &instance, |b, inst| {
+            b.iter(|| {
+                solve_rlspm_relaxation(inst, &accepted, &SolveOptions::default())
+                    .expect("feasible")
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_transportation, bench_rlspm_relaxation);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! TAA (BL-SPM solver) scaling under the Fig. 4c/4d setup (uniform
+//! 10-unit links on B4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use metis_core::{taa, SpmInstance, TaaOptions};
+use metis_netsim::topologies;
+use metis_workload::{generate, WorkloadConfig};
+
+fn bench_taa_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("taa/b4_caps10");
+    g.sample_size(10);
+    for k in [50usize, 100, 200, 400] {
+        let topo = topologies::b4();
+        let requests = generate(&topo, &WorkloadConfig::paper(k, 1));
+        let instance = SpmInstance::new(topo, requests, 12, 3);
+        let caps = vec![10.0; instance.topology().num_edges()];
+        g.bench_with_input(BenchmarkId::from_parameter(k), &instance, |b, inst| {
+            b.iter(|| taa(inst, &caps, &TaaOptions::default()).expect("taa"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_taa_capacity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("taa/k200_capacity");
+    g.sample_size(10);
+    let topo = topologies::b4();
+    let requests = generate(&topo, &WorkloadConfig::paper(200, 1));
+    let instance = SpmInstance::new(topo, requests, 12, 3);
+    for cap in [1.0f64, 5.0, 10.0, 50.0] {
+        let caps = vec![cap; instance.topology().num_edges()];
+        g.bench_with_input(
+            BenchmarkId::from_parameter(cap as u64),
+            &caps,
+            |b, caps| {
+                b.iter(|| taa(&instance, caps, &TaaOptions::default()).expect("taa"));
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_taa_scaling, bench_taa_capacity);
+criterion_main!(benches);

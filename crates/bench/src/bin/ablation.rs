@@ -1,0 +1,29 @@
+//! Runs the design-knob ablations (limiter rule, θ, path count, rounding).
+
+use metis_bench::experiments::ablation::{
+    limiter_rules, path_count_sweep, rounding_repeats_sweep, theta_sweep, AblationOptions,
+};
+use metis_bench::{quick_mode, RESULTS_DIR};
+
+fn main() {
+    let options = if quick_mode() {
+        AblationOptions {
+            k: 100,
+            seeds: vec![1],
+        }
+    } else {
+        AblationOptions::default()
+    };
+    eprintln!("ablation: K = {}, {} seeds", options.k, options.seeds.len());
+    for (table, csv) in [
+        (limiter_rules(&options), "ablation_limiter.csv"),
+        (theta_sweep(&options), "ablation_theta.csv"),
+        (path_count_sweep(&options), "ablation_paths.csv"),
+        (rounding_repeats_sweep(&options), "ablation_rounding.csv"),
+    ] {
+        println!("{}", table.render());
+        table
+            .write_csv(RESULTS_DIR, csv)
+            .unwrap_or_else(|e| eprintln!("could not write {csv}: {e}"));
+    }
+}

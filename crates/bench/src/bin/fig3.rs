@@ -1,0 +1,37 @@
+//! Regenerates Fig. 3 (Metis vs exact optima on SUB-B4).
+
+use std::time::Duration;
+
+use metis_bench::experiments::fig3::{run, Fig3Options};
+use metis_bench::{quick_mode, RESULTS_DIR};
+
+fn main() {
+    let options = if quick_mode() {
+        Fig3Options {
+            ks: vec![50, 100],
+            seeds: vec![1, 2],
+            opt_time_limit: Duration::from_secs(10),
+            ..Fig3Options::default()
+        }
+    } else {
+        Fig3Options::default()
+    };
+    eprintln!(
+        "fig3: K ∈ {:?}, {} seeds, OPT budget {:?} per solve",
+        options.ks,
+        options.seeds.len(),
+        options.opt_time_limit
+    );
+    let out = run(&options);
+    for (table, csv) in [
+        (&out.profit, "fig3a_profit.csv"),
+        (&out.accepted, "fig3b_accepted.csv"),
+        (&out.utilization, "fig3c_utilization.csv"),
+        (&out.timing, "fig3_timing.csv"),
+    ] {
+        println!("{}", table.render());
+        table
+            .write_csv(RESULTS_DIR, csv)
+            .unwrap_or_else(|e| eprintln!("could not write {csv}: {e}"));
+    }
+}

@@ -1,0 +1,39 @@
+//! Regenerates Fig. 4 (MAA and TAA component evaluation on B4).
+
+use metis_bench::experiments::fig4::{run_cost, run_revenue, run_rounding, Fig4Options};
+use metis_bench::{quick_mode, RESULTS_DIR};
+
+fn main() {
+    let options = if quick_mode() {
+        Fig4Options {
+            cost_ks: vec![100, 200],
+            revenue_ks: vec![200, 400],
+            seeds: vec![1, 2],
+            rounding_repeats: 100,
+            ..Fig4Options::default()
+        }
+    } else {
+        Fig4Options::default()
+    };
+    eprintln!(
+        "fig4: cost K ∈ {:?}, revenue K ∈ {:?}, {} seeds, {} roundings",
+        options.cost_ks,
+        options.revenue_ks,
+        options.seeds.len(),
+        options.rounding_repeats
+    );
+    let cost = run_cost(&options);
+    let rounding = run_rounding(&options);
+    let (revenue, accepted) = run_revenue(&options);
+    for (table, csv) in [
+        (&cost, "fig4a_cost.csv"),
+        (&rounding, "fig4b_rounding.csv"),
+        (&revenue, "fig4c_revenue.csv"),
+        (&accepted, "fig4d_accepted.csv"),
+    ] {
+        println!("{}", table.render());
+        table
+            .write_csv(RESULTS_DIR, csv)
+            .unwrap_or_else(|e| eprintln!("could not write {csv}: {e}"));
+    }
+}

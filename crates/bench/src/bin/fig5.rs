@@ -1,0 +1,33 @@
+//! Regenerates Fig. 5 (Metis vs EcoFlow on B4).
+
+use metis_bench::experiments::fig5::{run, Fig5Options};
+use metis_bench::{quick_mode, RESULTS_DIR};
+
+fn main() {
+    let options = if quick_mode() {
+        Fig5Options {
+            ks: vec![100, 200],
+            seeds: vec![1, 2],
+            ..Fig5Options::default()
+        }
+    } else {
+        Fig5Options::default()
+    };
+    eprintln!(
+        "fig5: K ∈ {:?}, {} seeds, θ = {}",
+        options.ks,
+        options.seeds.len(),
+        options.theta
+    );
+    let out = run(&options);
+    for (table, csv) in [
+        (&out.profit, "fig5a_profit.csv"),
+        (&out.accepted, "fig5b_accepted.csv"),
+        (&out.utilization, "fig5c_utilization.csv"),
+    ] {
+        println!("{}", table.render());
+        table
+            .write_csv(RESULTS_DIR, csv)
+            .unwrap_or_else(|e| eprintln!("could not write {csv}: {e}"));
+    }
+}

@@ -1,0 +1,22 @@
+//! Runs the cross-topology robustness sweep (beyond the paper).
+
+use metis_bench::experiments::robustness::{run, RobustnessOptions};
+use metis_bench::{quick_mode, RESULTS_DIR};
+
+fn main() {
+    let options = if quick_mode() {
+        RobustnessOptions {
+            k: 80,
+            seeds: vec![1],
+            ..RobustnessOptions::default()
+        }
+    } else {
+        RobustnessOptions::default()
+    };
+    eprintln!("robustness: K = {}, {} seeds", options.k, options.seeds.len());
+    let table = run(&options);
+    println!("{}", table.render());
+    table
+        .write_csv(RESULTS_DIR, "robustness.csv")
+        .unwrap_or_else(|e| eprintln!("could not write robustness.csv: {e}"));
+}

@@ -1,0 +1,342 @@
+//! `spm` — command-line front end for the Metis scheduler.
+//!
+//! Generates a synthetic billing cycle, runs Metis (and optionally the
+//! baselines), and prints the admission decisions as text or JSON.
+//!
+//! ```sh
+//! cargo run --release -p metis-bench --bin spm -- \
+//!     --network b4 --requests 200 --seed 7 --theta 8 --compare --json
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use metis_baselines::{ecoflow, mincost, opt_spm_with_start};
+use metis_core::{maa, metis, MaaOptions, MetisConfig, SpmInstance};
+use metis_lp::IlpOptions;
+use metis_netsim::topologies;
+use metis_workload::{generate, RequestId, WorkloadConfig};
+
+/// Everything a run needs, loadable from a JSON scenario file.
+#[derive(Debug, Clone, Deserialize)]
+#[serde(deny_unknown_fields)]
+struct Scenario {
+    network: NetworkSpec,
+    workload: WorkloadConfig,
+    #[serde(default = "default_theta")]
+    theta: usize,
+    #[serde(default = "default_paths")]
+    paths: usize,
+}
+
+fn default_theta() -> usize {
+    8
+}
+fn default_paths() -> usize {
+    3
+}
+
+#[derive(Debug, Clone, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+enum NetworkSpec {
+    B4,
+    SubB4,
+    Abilene,
+    Geant,
+    Random { nodes: u32, extra_links: usize, seed: u64 },
+}
+
+impl NetworkSpec {
+    fn build(&self) -> metis_netsim::Topology {
+        match self {
+            NetworkSpec::B4 => topologies::b4(),
+            NetworkSpec::SubB4 => topologies::sub_b4(),
+            NetworkSpec::Abilene => topologies::abilene(),
+            NetworkSpec::Geant => topologies::geant(),
+            NetworkSpec::Random { nodes, extra_links, seed } => {
+                topologies::random_wan(*nodes, *extra_links, *seed)
+            }
+        }
+    }
+
+    fn parse(name: &str) -> Option<NetworkSpec> {
+        match name {
+            "b4" => Some(NetworkSpec::B4),
+            "sub-b4" | "sub_b4" => Some(NetworkSpec::SubB4),
+            "abilene" => Some(NetworkSpec::Abilene),
+            "geant" => Some(NetworkSpec::Geant),
+            _ => None,
+        }
+    }
+
+    fn name(&self) -> String {
+        match self {
+            NetworkSpec::B4 => "b4".into(),
+            NetworkSpec::SubB4 => "sub-b4".into(),
+            NetworkSpec::Abilene => "abilene".into(),
+            NetworkSpec::Geant => "geant".into(),
+            NetworkSpec::Random { nodes, extra_links, seed } => {
+                format!("random({nodes},{extra_links},{seed})")
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Args {
+    network: String,
+    requests: usize,
+    seed: u64,
+    theta: usize,
+    paths: usize,
+    json: bool,
+    compare: bool,
+    analyze: bool,
+    opt_seconds: Option<u64>,
+    scenario: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            network: "b4".into(),
+            requests: 200,
+            seed: 1,
+            theta: 8,
+            paths: 3,
+            json: false,
+            compare: false,
+            analyze: false,
+            opt_seconds: None,
+            scenario: None,
+        }
+    }
+}
+
+const USAGE: &str = "usage: spm [--network b4|sub-b4] [--requests K] [--seed S] \
+[--theta T] [--paths P] [--opt-seconds N] [--compare] [--analyze] [--json] [--scenario FILE.json]\nnetworks: b4, sub-b4, abilene, geant (or a random spec in a scenario file)";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--network" => args.network = value("--network")?,
+            "--requests" => {
+                args.requests = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--theta" => {
+                args.theta = value("--theta")?
+                    .parse()
+                    .map_err(|e| format!("--theta: {e}"))?
+            }
+            "--paths" => {
+                args.paths = value("--paths")?
+                    .parse()
+                    .map_err(|e| format!("--paths: {e}"))?
+            }
+            "--opt-seconds" => {
+                args.opt_seconds = Some(
+                    value("--opt-seconds")?
+                        .parse()
+                        .map_err(|e| format!("--opt-seconds: {e}"))?,
+                )
+            }
+            "--json" => args.json = true,
+            "--compare" => args.compare = true,
+            "--analyze" => args.analyze = true,
+            "--scenario" => args.scenario = Some(value("--scenario")?),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(args)
+}
+
+#[derive(Serialize)]
+struct DecisionOut {
+    request: u32,
+    src: String,
+    dst: String,
+    start: usize,
+    end: usize,
+    rate_units: f64,
+    bid: f64,
+    accepted: bool,
+    route: Option<Vec<String>>,
+}
+
+#[derive(Serialize)]
+struct SolverOut {
+    name: String,
+    profit: f64,
+    revenue: f64,
+    cost: f64,
+    accepted: usize,
+}
+
+#[derive(Serialize)]
+struct Output {
+    network: String,
+    requests: usize,
+    seed: u64,
+    theta: usize,
+    metis: SolverOut,
+    comparisons: Vec<SolverOut>,
+    decisions: Vec<DecisionOut>,
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let scenario = match &args.scenario {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read scenario {path}: {e}");
+                std::process::exit(2);
+            });
+            serde_json::from_str::<Scenario>(&text).unwrap_or_else(|e| {
+                eprintln!("invalid scenario {path}: {e}");
+                std::process::exit(2);
+            })
+        }
+        None => {
+            let network = NetworkSpec::parse(&args.network).unwrap_or_else(|| {
+                eprintln!(
+                    "unknown network {} (use b4, sub-b4, abilene, or geant)",
+                    args.network
+                );
+                std::process::exit(2);
+            });
+            Scenario {
+                network,
+                workload: WorkloadConfig::paper(args.requests, args.seed),
+                theta: args.theta,
+                paths: args.paths,
+            }
+        }
+    };
+    let topo = scenario.network.build();
+    let requests = generate(&topo, &scenario.workload);
+    let instance = SpmInstance::new(topo, requests, scenario.workload.num_slots, scenario.paths);
+
+    let result = metis(&instance, &MetisConfig::with_theta(scenario.theta)).unwrap_or_else(|e| {
+        eprintln!("metis failed: {e}");
+        std::process::exit(1);
+    });
+
+    let solver_out = |name: &str, ev: &metis_core::Evaluation| SolverOut {
+        name: name.into(),
+        profit: ev.profit,
+        revenue: ev.revenue,
+        cost: ev.cost,
+        accepted: ev.accepted,
+    };
+
+    let mut comparisons = Vec::new();
+    if args.compare {
+        let all = vec![true; instance.num_requests()];
+        if let Ok(m) = maa(&instance, &all, &MaaOptions::default()) {
+            comparisons.push(solver_out("serve-all (MAA)", &m.evaluation));
+        }
+        comparisons.push(solver_out("mincost", &mincost(&instance).evaluate(&instance)));
+        comparisons.push(solver_out("ecoflow", &ecoflow(&instance).evaluate(&instance)));
+        if let Some(secs) = args.opt_seconds {
+            let ilp = IlpOptions {
+                time_limit: Some(std::time::Duration::from_secs(secs)),
+                ..IlpOptions::default()
+            };
+            if let Ok(opt) = opt_spm_with_start(&instance, &ilp, &result.schedule) {
+                comparisons.push(solver_out(
+                    if opt.optimal {
+                        "OPT(SPM)"
+                    } else {
+                        "OPT(SPM) time-limited"
+                    },
+                    &opt.evaluation,
+                ));
+            }
+        }
+    }
+
+    let decisions: Vec<DecisionOut> = instance
+        .requests()
+        .iter()
+        .map(|r| {
+            let id: RequestId = r.id;
+            let route = result.schedule.path_choice(id).map(|j| {
+                instance.paths(id)[j]
+                    .nodes()
+                    .iter()
+                    .map(|n| n.to_string())
+                    .collect()
+            });
+            DecisionOut {
+                request: id.0,
+                src: r.src.to_string(),
+                dst: r.dst.to_string(),
+                start: r.start,
+                end: r.end,
+                rate_units: r.rate,
+                bid: r.value,
+                accepted: route.is_some(),
+                route,
+            }
+        })
+        .collect();
+
+    let out = Output {
+        network: scenario.network.name(),
+        requests: instance.num_requests(),
+        seed: scenario.workload.seed,
+        theta: scenario.theta,
+        metis: solver_out("metis", &result.evaluation),
+        comparisons,
+        decisions,
+    };
+
+    if args.json {
+        println!("{}", serde_json::to_string_pretty(&out).expect("serialize"));
+    } else {
+        println!(
+            "{} | K={} seed={} θ={}",
+            out.network, out.requests, out.seed, out.theta
+        );
+        println!(
+            "metis: profit {:.2} (revenue {:.2} − cost {:.2}), accepted {}/{}",
+            out.metis.profit, out.metis.revenue, out.metis.cost, out.metis.accepted, out.requests
+        );
+        for c in &out.comparisons {
+            println!(
+                "{:>24}: profit {:>9.2}, accepted {:>5}",
+                c.name, c.profit, c.accepted
+            );
+        }
+        let declined = out.decisions.iter().filter(|d| !d.accepted).count();
+        println!("declined {declined} bids; rerun with --json for per-bid routes");
+    }
+    if args.analyze {
+        let analysis = metis_core::analyze(&instance, &result.schedule);
+        println!("
+# schedule analysis
+{}", analysis.render_text(5));
+    }
+}

@@ -1,0 +1,131 @@
+//! Fig. 5 — end-to-end Metis vs EcoFlow on B4.
+//!
+//! * **5a**: service profit (paper: Metis up to +32.6%).
+//! * **5b**: accepted requests (paper: EcoFlow up to 43.1% fewer).
+//! * **5c**: average link utilization (paper: Metis up to +38%).
+
+use metis_baselines::ecoflow;
+use metis_core::{metis, MetisConfig, SpmInstance};
+use metis_netsim::topologies;
+use metis_workload::{generate, WorkloadConfig};
+
+use crate::report::{f2, f3, mean, Table};
+use crate::runner::run_seeds;
+
+/// Options for the Fig. 5 experiment.
+#[derive(Clone, Debug)]
+pub struct Fig5Options {
+    /// Request counts (x-axis).
+    pub ks: Vec<usize>,
+    /// Workload seeds.
+    pub seeds: Vec<u64>,
+    /// Metis alternation rounds θ.
+    pub theta: usize,
+}
+
+impl Default for Fig5Options {
+    fn default() -> Self {
+        Fig5Options {
+            ks: vec![100, 200, 400, 600, 800],
+            seeds: vec![1, 2, 3],
+            theta: 8,
+        }
+    }
+}
+
+/// The three tables of Fig. 5.
+#[derive(Clone, Debug)]
+pub struct Fig5Output {
+    /// Fig. 5a: profit.
+    pub profit: Table,
+    /// Fig. 5b: accepted requests.
+    pub accepted: Table,
+    /// Fig. 5c: average link utilization.
+    pub utilization: Table,
+}
+
+/// Runs the Fig. 5 experiment.
+pub fn run(options: &Fig5Options) -> Fig5Output {
+    let mut profit = Table::new(
+        "Fig. 5a — service profit on B4 (mean over seeds)",
+        &["K", "Metis", "EcoFlow", "Metis/EcoFlow"],
+    );
+    let mut accepted = Table::new(
+        "Fig. 5b — accepted requests on B4",
+        &["K", "Metis", "EcoFlow", "EcoFlow/Metis"],
+    );
+    let mut utilization = Table::new(
+        "Fig. 5c — average link utilization on B4",
+        &["K", "Metis", "EcoFlow", "Metis/EcoFlow"],
+    );
+
+    for &k in &options.ks {
+        let rows = run_seeds(&options.seeds, |seed| {
+            let topo = topologies::b4();
+            let requests = generate(&topo, &WorkloadConfig::paper(k, seed));
+            let instance = SpmInstance::new(topo, requests, 12, 3);
+            let m = metis(&instance, &MetisConfig::with_theta(options.theta)).expect("metis");
+            let e = ecoflow(&instance).evaluate(&instance);
+            (
+                m.evaluation.profit,
+                m.evaluation.accepted as f64,
+                m.evaluation.utilization.mean,
+                e.profit,
+                e.accepted as f64,
+                e.utilization.mean,
+            )
+        });
+        let col = |f: &dyn Fn(&(f64, f64, f64, f64, f64, f64)) -> f64| {
+            mean(&rows.iter().map(f).collect::<Vec<_>>())
+        };
+        let (mp, ma, mu) = (col(&|r| r.0), col(&|r| r.1), col(&|r| r.2));
+        let (ep, ea, eu) = (col(&|r| r.3), col(&|r| r.4), col(&|r| r.5));
+        profit.push_row(vec![
+            k.to_string(),
+            f2(mp),
+            f2(ep),
+            f3(if ep.abs() > 1e-12 { mp / ep } else { f64::NAN }),
+        ]);
+        accepted.push_row(vec![
+            k.to_string(),
+            f2(ma),
+            f2(ea),
+            f3(if ma > 0.0 { ea / ma } else { f64::NAN }),
+        ]);
+        utilization.push_row(vec![
+            k.to_string(),
+            f3(mu),
+            f3(eu),
+            f3(if eu > 1e-12 { mu / eu } else { f64::NAN }),
+        ]);
+    }
+
+    Fig5Output {
+        profit,
+        accepted,
+        utilization,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_run_produces_tables() {
+        let out = run(&Fig5Options {
+            ks: vec![100],
+            seeds: vec![1],
+            theta: 6,
+        });
+        assert_eq!(out.profit.rows.len(), 1);
+        let metis_p: f64 = out.profit.rows[0][1].parse().unwrap();
+        let eco_p: f64 = out.profit.rows[0][2].parse().unwrap();
+        // Metis's SP Updater never returns negative profit; at evaluation
+        // scale it should not trail the greedy baseline (at very small K
+        // with few rounds the alternation may not find a profitable
+        // subset, which is why this test pins K = 100).
+        assert!(metis_p >= 0.0);
+        assert!(metis_p >= eco_p - 1e-6, "metis {metis_p} < ecoflow {eco_p}");
+    }
+}

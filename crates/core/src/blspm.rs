@@ -1,0 +1,539 @@
+//! BL-SPM (bandwidth-limited SPM) and the Tree-based Approximation
+//! Algorithm (TAA, §IV of the paper).
+//!
+//! Given fixed per-edge capacities, BL-SPM maximizes service revenue by
+//! accepting a subset of requests and routing each accepted one on a
+//! single path without violating any `(edge, slot)` capacity. TAA:
+//!
+//! 1. solves the LP relaxation (`x_{i,j} ∈ [0,1]`, `Σ_j x_{i,j} ≤ 1`);
+//! 2. scales the fractional path probabilities by `μ` chosen from the
+//!    Chernoff–Hoeffding bound (inequality (6)) so a random rounding
+//!    would violate each constraint with probability `< 1/(T(N+1))`;
+//! 3. derandomizes with the method of conditional probabilities: walks a
+//!    decision tree with `L_i + 1` branches per request (the extra branch
+//!    declines it), at each level fixing the choice that minimizes a
+//!    pessimistic estimator `u_root` of the failure probability.
+//!
+//! On top of the estimator this implementation enforces capacity
+//! feasibility *exactly*: an option that would overload any cell is never
+//! taken, so the returned schedule always satisfies BL-SPM's constraints
+//! (the estimator then only steers revenue).
+
+use metis_lp::{Problem, Relation, Sense, SolveError, SolveOptions};
+use metis_workload::RequestId;
+
+use crate::chernoff::{chernoff_delta, select_mu};
+use crate::instance::SpmInstance;
+use crate::schedule::{Evaluation, Schedule};
+
+/// Options for [`taa`].
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct TaaOptions {
+    /// LP solver options.
+    pub lp: SolveOptions,
+}
+
+/// Fractional optimum of the relaxed BL-SPM.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BlspmRelaxation {
+    /// `x̂_{i,j}` per request and candidate path.
+    pub x: Vec<Vec<f64>>,
+    /// Fractional revenue `Σ v_i Σ_j x̂_{i,j}` — an upper bound on the
+    /// integral optimum.
+    pub revenue: f64,
+}
+
+/// Result of one TAA run.
+#[derive(Clone, Debug)]
+pub struct TaaResult {
+    /// Feasible schedule (capacities respected everywhere).
+    pub schedule: Schedule,
+    /// Economic evaluation of the schedule.
+    pub evaluation: Evaluation,
+    /// The LP relaxation behind the derandomization.
+    pub relaxation: BlspmRelaxation,
+    /// The scaling factor `μ` chosen from inequality (6); `None` when the
+    /// network has no positive capacity.
+    pub mu: Option<f64>,
+}
+
+/// Builds and solves the relaxed BL-SPM linear program.
+///
+/// # Errors
+///
+/// Propagates LP solver failures; the LP is always feasible (declining
+/// everything is a solution), so `Infeasible` indicates numerical trouble.
+///
+/// # Panics
+///
+/// Panics if `capacities.len()` differs from the edge count.
+pub fn solve_blspm_relaxation(
+    instance: &SpmInstance,
+    capacities: &[f64],
+    lp_options: &SolveOptions,
+) -> Result<BlspmRelaxation, SolveError> {
+    let topo = instance.topology();
+    assert_eq!(capacities.len(), topo.num_edges(), "capacity vector length");
+    let slots = instance.num_slots();
+
+    let mut p = Problem::new(Sense::Maximize);
+    let mut xvars: Vec<Vec<metis_lp::VarId>> = Vec::with_capacity(instance.num_requests());
+    for (r, paths) in instance.iter() {
+        xvars.push(
+            paths
+                .iter()
+                .map(|_| p.add_var(r.value, 0.0, 1.0))
+                .collect(),
+        );
+    }
+    for vars in &xvars {
+        p.add_constraint(vars.iter().map(|&v| (v, 1.0)), Relation::Le, 1.0);
+    }
+    let mut cell_terms: Vec<Vec<(metis_lp::VarId, f64)>> =
+        vec![Vec::new(); topo.num_edges() * slots];
+    for (i, (r, paths)) in instance.iter().enumerate() {
+        for (j, path) in paths.iter().enumerate() {
+            for &e in path.edges() {
+                for t in r.start..=r.end {
+                    cell_terms[e.index() * slots + t].push((xvars[i][j], r.rate));
+                }
+            }
+        }
+    }
+    for e in 0..topo.num_edges() {
+        for t in 0..slots {
+            let terms = &cell_terms[e * slots + t];
+            if !terms.is_empty() {
+                p.add_constraint(terms.iter().copied(), Relation::Le, capacities[e]);
+            }
+        }
+    }
+
+    let sol = p.solve_with(lp_options)?;
+    let x: Vec<Vec<f64>> = xvars
+        .iter()
+        .map(|vars| vars.iter().map(|&v| sol.value(v).clamp(0.0, 1.0)).collect())
+        .collect();
+    Ok(BlspmRelaxation {
+        x,
+        revenue: sol.objective(),
+    })
+}
+
+/// Identifies the `(edge, slot)` cells reachable by candidate paths and
+/// maps them to dense indices.
+struct CellIndex {
+    /// `edge * slots + t → dense index` (`u32::MAX` = unused cell).
+    map: Vec<u32>,
+    /// Capacity per dense cell.
+    caps: Vec<f64>,
+    slots: usize,
+}
+
+impl CellIndex {
+    fn build(instance: &SpmInstance, capacities: &[f64]) -> Self {
+        let slots = instance.num_slots();
+        let mut map = vec![u32::MAX; instance.topology().num_edges() * slots];
+        let mut caps = Vec::new();
+        for (r, paths) in instance.iter() {
+            for path in paths {
+                for &e in path.edges() {
+                    for t in r.start..=r.end {
+                        let idx = e.index() * slots + t;
+                        if map[idx] == u32::MAX {
+                            map[idx] = caps.len() as u32;
+                            caps.push(capacities[e.index()]);
+                        }
+                    }
+                }
+            }
+        }
+        CellIndex { map, caps, slots }
+    }
+
+    fn cell(&self, edge: usize, t: usize) -> usize {
+        self.map[edge * self.slots + t] as usize
+    }
+}
+
+/// Runs TAA: relax → scale by `μ` → derandomized decision-tree walk.
+///
+/// The returned schedule respects `capacities` at every `(edge, slot)`.
+///
+/// # Errors
+///
+/// Propagates LP failures from the relaxation stage.
+///
+/// # Panics
+///
+/// Panics if `capacities.len()` differs from the edge count.
+///
+/// # Examples
+///
+/// ```
+/// use metis_core::{taa, SpmInstance, TaaOptions};
+/// use metis_netsim::topologies;
+/// use metis_workload::{generate, WorkloadConfig};
+///
+/// let topo = topologies::b4();
+/// let requests = generate(&topo, &WorkloadConfig::paper(30, 5));
+/// let caps = vec![10.0; topo.num_edges()]; // 100 Gbps per link
+/// let instance = SpmInstance::new(topo, requests, 12, 3);
+/// let result = taa(&instance, &caps, &TaaOptions::default())?;
+/// assert!(result.schedule.check_capacities(&instance, &caps).is_ok());
+/// assert!(result.evaluation.revenue <= result.relaxation.revenue + 1e-6);
+/// # Ok::<(), metis_lp::SolveError>(())
+/// ```
+pub fn taa(
+    instance: &SpmInstance,
+    capacities: &[f64],
+    options: &TaaOptions,
+) -> Result<TaaResult, SolveError> {
+    let relaxation = solve_blspm_relaxation(instance, capacities, &options.lp)?;
+    let k = instance.num_requests();
+    let topo = instance.topology();
+
+    // Normalize rates and values into [0, 1] (Algorithm 2, line 1).
+    let r_scale = instance
+        .requests()
+        .iter()
+        .map(|r| r.rate)
+        .fold(0.0_f64, f64::max)
+        .max(1e-12);
+    let v_scale = instance
+        .requests()
+        .iter()
+        .map(|r| r.value)
+        .fold(0.0_f64, f64::max)
+        .max(1e-12);
+
+    // μ per inequality (6): c is the smallest positive capacity.
+    let min_cap = capacities
+        .iter()
+        .copied()
+        .filter(|&c| c > 0.0)
+        .fold(f64::INFINITY, f64::min);
+    let mu = if min_cap.is_finite() {
+        select_mu(min_cap / r_scale, instance.num_slots(), topo.num_edges())
+    } else {
+        None
+    };
+    let Some(mu) = mu else {
+        // No capacity anywhere: decline everything.
+        let schedule = Schedule::decline_all(k);
+        let evaluation = schedule.evaluate(instance);
+        return Ok(TaaResult {
+            schedule,
+            evaluation,
+            relaxation,
+            mu: None,
+        });
+    };
+
+    let cells = CellIndex::build(instance, capacities);
+    let n_cells = cells.caps.len();
+    let t_k = (1.0 + (1.0 - mu) / mu).ln(); // = ln(1/μ)
+
+    // Revenue-tail parameters: I_S = μ·Î (normalized), γ = D(I_S, 1/(N+1)).
+    let i_s = mu * relaxation.revenue / v_scale;
+    let gamma = chernoff_delta(i_s, 1.0 / (topo.num_edges() as f64 + 1.0)).min(1.0);
+    let i_b = i_s * (1.0 - gamma);
+    let t_0 = (1.0 + gamma).ln();
+
+    // Per-request precomputation.
+    // `cells_of_path[i][j]`: dense cells covered by path j while active.
+    let mut cells_of_path: Vec<Vec<Vec<u32>>> = Vec::with_capacity(k);
+    // `expect_cells[i]`: (cell, S_ik) with S_ik = μ Σ_{j crossing k} x̂_ij.
+    let mut expect_cells: Vec<Vec<(u32, f64)>> = Vec::with_capacity(k);
+    for (i, (r, paths)) in instance.iter().enumerate() {
+        let mut per_path = Vec::with_capacity(paths.len());
+        let mut acc: Vec<(u32, f64)> = Vec::new();
+        for (j, path) in paths.iter().enumerate() {
+            let mut cs = Vec::new();
+            for &e in path.edges() {
+                for t in r.start..=r.end {
+                    let c = cells.cell(e.index(), t) as u32;
+                    cs.push(c);
+                    acc.push((c, mu * relaxation.x[i][j]));
+                }
+            }
+            per_path.push(cs);
+        }
+        acc.sort_unstable_by_key(|&(c, _)| c);
+        let mut merged: Vec<(u32, f64)> = Vec::with_capacity(acc.len());
+        for (c, s) in acc {
+            match merged.last_mut() {
+                Some((lc, ls)) if *lc == c => *ls += s,
+                _ => merged.push((c, s)),
+            }
+        }
+        cells_of_path.push(per_path);
+        expect_cells.push(merged);
+    }
+
+    // Estimator state.
+    // Revenue product term R = e^{t0·I_B} Π_i f_rev_i.
+    let a_exp: Vec<f64> = instance
+        .requests()
+        .iter()
+        .map(|r| (t_k * r.rate / r_scale).exp())
+        .collect();
+    let rev_assign: Vec<f64> = instance
+        .requests()
+        .iter()
+        .map(|r| (-t_0 * r.value / v_scale).exp())
+        .collect();
+    let q: Vec<f64> = relaxation
+        .x
+        .iter()
+        .map(|xs| mu * xs.iter().sum::<f64>())
+        .collect();
+    let mut f_rev: Vec<f64> = (0..k)
+        .map(|i| 1.0 + q[i] * (rev_assign[i] - 1.0))
+        .collect();
+    let mut r_term = (t_0 * i_b).exp();
+    for &f in &f_rev {
+        r_term *= f;
+    }
+
+    // Constraint terms C_k = e^{−t_k·c̃_k} Π_i f_cons_{i,k}.
+    let mut c_term: Vec<f64> = cells
+        .caps
+        .iter()
+        .map(|&c| (-t_k * c / r_scale).exp())
+        .collect();
+    // Current factor of request i in cell k, stored sparsely alongside
+    // `expect_cells` (same order).
+    let mut f_cons: Vec<Vec<f64>> = Vec::with_capacity(k);
+    for i in 0..k {
+        let fs: Vec<f64> = expect_cells[i]
+            .iter()
+            .map(|&(_, s)| 1.0 + s * (a_exp[i] - 1.0))
+            .collect();
+        for (&(cell, _), &f) in expect_cells[i].iter().zip(&fs) {
+            c_term[cell as usize] *= f;
+        }
+        f_cons.push(fs);
+    }
+    let mut total_c: f64 = c_term.iter().sum();
+
+    // Residual feasibility tracking.
+    let mut cell_load = vec![0.0_f64; n_cells];
+    let mut schedule = Schedule::decline_all(k);
+
+    // Walk the decision tree level by level (Algorithm 2, lines 4–12).
+    for i in 0..k {
+        let req = instance.request(RequestId(i as u32));
+        let paths = &cells_of_path[i];
+        // Evaluate u' for each option. Options: paths first, decline last;
+        // strict minimum wins, so ties favor earlier (cheaper) paths.
+        let mut best_u = f64::INFINITY;
+        let mut best_choice: Option<usize> = None; // None here = undecided
+        let mut best_is_decline = false;
+
+        for (j, pcells) in paths.iter().enumerate() {
+            // Hard feasibility: every cell on the path must fit the rate.
+            let fits = pcells
+                .iter()
+                .all(|&c| cell_load[c as usize] + req.rate <= cells.caps[c as usize] + 1e-9);
+            if !fits {
+                continue;
+            }
+            // u' = R·(g_rev/f_rev) + total_C + Σ_{k affected} C_k·(g/f − 1).
+            let mut u = r_term * (rev_assign[i] / f_rev[i]) + total_c;
+            // Cells in the expectation set change factor: to a_i on this
+            // path's cells, to 1 elsewhere.
+            for (idx, &(cell, _)) in expect_cells[i].iter().enumerate() {
+                let on_path = pcells.contains(&cell);
+                let g = if on_path { a_exp[i] } else { 1.0 };
+                u += c_term[cell as usize] * (g / f_cons[i][idx] - 1.0);
+            }
+            // Path cells outside the expectation set cannot exist: every
+            // path cell carries S ≥ 0 and is inserted during precompute.
+            if u < best_u {
+                best_u = u;
+                best_choice = Some(j);
+                best_is_decline = false;
+            }
+        }
+        // Decline option: g_rev = 1, every g = 1.
+        {
+            let mut u = r_term * (1.0 / f_rev[i]) + total_c;
+            for (idx, &(cell, _)) in expect_cells[i].iter().enumerate() {
+                u += c_term[cell as usize] * (1.0 / f_cons[i][idx] - 1.0);
+            }
+            if u < best_u {
+                best_choice = None;
+                best_is_decline = true;
+            }
+        }
+
+        // Apply the chosen branch.
+        let chosen = if best_is_decline { None } else { best_choice };
+        match chosen {
+            Some(j) => {
+                schedule.set(RequestId(i as u32), Some(j));
+                let ratio = rev_assign[i] / f_rev[i];
+                r_term *= ratio;
+                f_rev[i] = rev_assign[i];
+                for idx in 0..expect_cells[i].len() {
+                    let (cell, _) = expect_cells[i][idx];
+                    let on_path = paths[j].contains(&cell);
+                    let g = if on_path { a_exp[i] } else { 1.0 };
+                    let old = c_term[cell as usize];
+                    let new = old * g / f_cons[i][idx];
+                    c_term[cell as usize] = new;
+                    total_c += new - old;
+                    f_cons[i][idx] = g;
+                }
+                for &c in &paths[j] {
+                    cell_load[c as usize] += req.rate;
+                }
+            }
+            None => {
+                let ratio = 1.0 / f_rev[i];
+                r_term *= ratio;
+                f_rev[i] = 1.0;
+                for idx in 0..expect_cells[i].len() {
+                    let (cell, _) = expect_cells[i][idx];
+                    let old = c_term[cell as usize];
+                    let new = old / f_cons[i][idx];
+                    c_term[cell as usize] = new;
+                    total_c += new - old;
+                    f_cons[i][idx] = 1.0;
+                }
+            }
+        }
+    }
+
+    // Residual fill: the estimator walk can strand capacity by declining
+    // low-bid requests even when they still fit. Admitting any such
+    // request on a fitting path is a strict revenue improvement that
+    // keeps feasibility, so sweep once more in bid order (highest first).
+    let mut by_value: Vec<usize> = (0..k)
+        .filter(|&i| !schedule.is_accepted(RequestId(i as u32)))
+        .collect();
+    by_value.sort_by(|&a, &b| {
+        instance.requests()[b]
+            .value
+            .partial_cmp(&instance.requests()[a].value)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for i in by_value {
+        let req = instance.request(RequestId(i as u32));
+        let fit = cells_of_path[i].iter().position(|pcells| {
+            pcells
+                .iter()
+                .all(|&c| cell_load[c as usize] + req.rate <= cells.caps[c as usize] + 1e-9)
+        });
+        if let Some(j) = fit {
+            for &c in &cells_of_path[i][j] {
+                cell_load[c as usize] += req.rate;
+            }
+            schedule.set(RequestId(i as u32), Some(j));
+        }
+    }
+
+    debug_assert!(schedule.check_capacities(instance, capacities).is_ok());
+    let evaluation = schedule.evaluate(instance);
+    Ok(TaaResult {
+        schedule,
+        evaluation,
+        relaxation,
+        mu: Some(mu),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metis_netsim::topologies;
+    use metis_workload::{generate, WorkloadConfig};
+
+    fn instance(k: usize, seed: u64) -> SpmInstance {
+        let topo = topologies::b4();
+        let reqs = generate(&topo, &WorkloadConfig::paper(k, seed));
+        SpmInstance::new(topo, reqs, 12, 3)
+    }
+
+    #[test]
+    fn relaxation_upper_bounds_any_schedule() {
+        let inst = instance(25, 1);
+        let caps = vec![10.0; inst.topology().num_edges()];
+        let rel = solve_blspm_relaxation(&inst, &caps, &SolveOptions::default()).unwrap();
+        assert!(rel.revenue > 0.0);
+        assert!(rel.revenue <= inst.total_value() + 1e-6);
+        for xs in &rel.x {
+            let s: f64 = xs.iter().sum();
+            assert!(s <= 1.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn generous_capacity_accepts_everything() {
+        let inst = instance(20, 2);
+        let caps = vec![1000.0; inst.topology().num_edges()];
+        let res = taa(&inst, &caps, &TaaOptions::default()).unwrap();
+        assert_eq!(res.schedule.num_accepted(), 20, "nothing should be declined");
+        assert!((res.evaluation.revenue - inst.total_value()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn schedule_always_feasible() {
+        for seed in 0..4 {
+            let inst = instance(60, seed);
+            let caps = vec![2.0; inst.topology().num_edges()];
+            let res = taa(&inst, &caps, &TaaOptions::default()).unwrap();
+            res.schedule
+                .check_capacities(&inst, &caps)
+                .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+        }
+    }
+
+    #[test]
+    fn zero_capacity_declines_all() {
+        let inst = instance(10, 3);
+        let caps = vec![0.0; inst.topology().num_edges()];
+        let res = taa(&inst, &caps, &TaaOptions::default()).unwrap();
+        assert_eq!(res.schedule.num_accepted(), 0);
+        assert_eq!(res.mu, None);
+        assert_eq!(res.evaluation.revenue, 0.0);
+    }
+
+    #[test]
+    fn revenue_bounded_by_relaxation() {
+        let inst = instance(40, 4);
+        let caps = vec![5.0; inst.topology().num_edges()];
+        let res = taa(&inst, &caps, &TaaOptions::default()).unwrap();
+        assert!(res.evaluation.revenue <= res.relaxation.revenue + 1e-6);
+        assert!(res.mu.unwrap() > 0.0 && res.mu.unwrap() < 1.0);
+    }
+
+    #[test]
+    fn tight_capacity_declines_some() {
+        let inst = instance(80, 5);
+        let caps = vec![1.0; inst.topology().num_edges()];
+        let res = taa(&inst, &caps, &TaaOptions::default()).unwrap();
+        assert!(res.schedule.num_accepted() < 80);
+        assert!(res.schedule.num_accepted() > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let inst = instance(30, 6);
+        let caps = vec![3.0; inst.topology().num_edges()];
+        let a = taa(&inst, &caps, &TaaOptions::default()).unwrap();
+        let b = taa(&inst, &caps, &TaaOptions::default()).unwrap();
+        assert_eq!(a.schedule, b.schedule);
+    }
+
+    #[test]
+    fn more_capacity_never_hurts_much() {
+        // Revenue should (weakly) increase as capacity grows. Greedy
+        // derandomization is not strictly monotone, so allow 5% slack.
+        let inst = instance(50, 7);
+        let lo = taa(&inst, &vec![1.0; 38], &TaaOptions::default()).unwrap();
+        let hi = taa(&inst, &vec![10.0; 38], &TaaOptions::default()).unwrap();
+        assert!(hi.evaluation.revenue >= lo.evaluation.revenue * 0.95);
+    }
+}

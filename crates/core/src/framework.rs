@@ -1,0 +1,281 @@
+//! The Metis alternation framework (§II-C, Fig. 1 of the paper).
+//!
+//! Metis alternates the two SPM variants: the **RL-SPM Solver** (MAA)
+//! minimizes cost for the currently-accepted requests; the **BW Limiter**
+//! tightens capacities by rule `τ`; the **BL-SPM Solver** (TAA) re-selects
+//! the revenue-maximizing subset under those capacities; the **SP
+//! Updater** keeps the most profitable schedule seen. The loop runs `θ`
+//! rounds or until the accepted set drains.
+
+use serde::{Deserialize, Serialize};
+
+use metis_lp::SolveError;
+
+use crate::blspm::{taa, TaaOptions};
+use crate::instance::SpmInstance;
+use crate::limiter::LimiterRule;
+use crate::rlspm::{maa, MaaOptions};
+use crate::schedule::{Evaluation, Schedule};
+
+/// Configuration of one Metis run.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct MetisConfig {
+    /// Number of alternation rounds `θ`; each round is one
+    /// limit → TAA → MAA pass. `0` runs only the initial MAA.
+    pub theta: usize,
+    /// The bandwidth-reduction rule `τ`.
+    pub limiter: LimiterRule,
+    /// RL-SPM solver (MAA) options.
+    pub maa: MaaOptions,
+    /// BL-SPM solver (TAA) options.
+    pub taa: TaaOptions,
+}
+
+impl MetisConfig {
+    /// A sensible default: `θ = 8` rounds with the paper's
+    /// min-utilization rule.
+    pub fn with_theta(theta: usize) -> Self {
+        MetisConfig {
+            theta,
+            ..MetisConfig::default()
+        }
+    }
+}
+
+/// Which solver produced an iteration's schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// RL-SPM Solver (MAA).
+    Maa,
+    /// BL-SPM Solver (TAA).
+    Taa,
+}
+
+/// One entry of the profit trace.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct IterationRecord {
+    /// Which solver ran.
+    pub phase: Phase,
+    /// Profit of the schedule it produced.
+    pub profit: f64,
+    /// Number of accepted requests in that schedule.
+    pub accepted: usize,
+}
+
+/// Result of a Metis run.
+#[derive(Clone, Debug)]
+pub struct MetisResult {
+    /// The most profitable schedule seen (the SP Updater's record).
+    pub schedule: Schedule,
+    /// Its evaluation.
+    pub evaluation: Evaluation,
+    /// Per-solver-invocation profit trace, in execution order.
+    pub history: Vec<IterationRecord>,
+    /// Number of completed alternation rounds (≤ `θ`).
+    pub rounds: usize,
+}
+
+/// Runs Metis on an instance.
+///
+/// The SP Updater starts from zero profit (decline everything), so the
+/// result's profit is never negative.
+///
+/// # Errors
+///
+/// Propagates LP solver failures from MAA/TAA.
+///
+/// # Examples
+///
+/// ```
+/// use metis_core::{metis, MetisConfig, SpmInstance};
+/// use metis_netsim::topologies;
+/// use metis_workload::{generate, WorkloadConfig};
+///
+/// let topo = topologies::sub_b4();
+/// let requests = generate(&topo, &WorkloadConfig::paper(25, 9));
+/// let instance = SpmInstance::new(topo, requests, 12, 3);
+/// let result = metis(&instance, &MetisConfig::with_theta(4))?;
+/// assert!(result.evaluation.profit >= 0.0);
+/// # Ok::<(), metis_lp::SolveError>(())
+/// ```
+pub fn metis(instance: &SpmInstance, config: &MetisConfig) -> Result<MetisResult, SolveError> {
+    let k = instance.num_requests();
+    let mut history = Vec::new();
+
+    // SP Updater: profit starts at zero with everything declined.
+    let mut best_schedule = Schedule::decline_all(k);
+    let mut best_eval = best_schedule.evaluate(instance);
+
+    let record = |phase: Phase,
+                      schedule: Schedule,
+                      eval: Evaluation,
+                      best_s: &mut Schedule,
+                      best_e: &mut Evaluation,
+                      history: &mut Vec<IterationRecord>| {
+        history.push(IterationRecord {
+            phase,
+            profit: eval.profit,
+            accepted: eval.accepted,
+        });
+        if eval.profit > best_e.profit {
+            *best_s = schedule;
+            *best_e = eval;
+        }
+    };
+
+    // Initialization: accept every request and minimize its cost.
+    let mut accepted = vec![true; k];
+    let first = maa(instance, &accepted, &config.maa)?;
+    // Running capacity budget: what the provider would purchase for the
+    // current accepted set. Kept element-wise monotone so the limiter
+    // makes progress even when the accepted set stalls.
+    let mut caps = first.evaluation.charged.clone();
+    record(
+        Phase::Maa,
+        first.schedule,
+        first.evaluation,
+        &mut best_schedule,
+        &mut best_eval,
+        &mut history,
+    );
+
+    let mut rounds = 0;
+    for round in 0..config.theta {
+        if caps.iter().all(|&c| c <= 0.0) {
+            break;
+        }
+        // BW Limiter: tighten by rule τ, based on the best load seen.
+        caps = config
+            .limiter
+            .apply(instance.topology(), &best_eval.load, &caps);
+
+        // BL-SPM Solver: re-select requests under the tightened budget.
+        let t = taa(instance, &caps, &config.taa)?;
+        accepted = (0..k)
+            .map(|i| t.schedule.is_accepted(metis_workload::RequestId(i as u32)))
+            .collect();
+        record(
+            Phase::Taa,
+            t.schedule,
+            t.evaluation,
+            &mut best_schedule,
+            &mut best_eval,
+            &mut history,
+        );
+        rounds = round + 1;
+
+        if accepted.iter().all(|&a| !a) {
+            break;
+        }
+
+        // RL-SPM Solver: re-minimize cost for the surviving set.
+        let m = maa(instance, &accepted, &config.maa)?;
+        for (c, &m_c) in caps.iter_mut().zip(&m.evaluation.charged) {
+            *c = c.min(m_c);
+        }
+        record(
+            Phase::Maa,
+            m.schedule,
+            m.evaluation,
+            &mut best_schedule,
+            &mut best_eval,
+            &mut history,
+        );
+    }
+
+    Ok(MetisResult {
+        schedule: best_schedule,
+        evaluation: best_eval,
+        history,
+        rounds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metis_netsim::topologies;
+    use metis_workload::{generate, WorkloadConfig};
+
+    fn instance(k: usize, seed: u64) -> SpmInstance {
+        let topo = topologies::sub_b4();
+        let reqs = generate(&topo, &WorkloadConfig::paper(k, seed));
+        SpmInstance::new(topo, reqs, 12, 3)
+    }
+
+    #[test]
+    fn profit_never_negative() {
+        for seed in 0..3 {
+            let inst = instance(20, seed);
+            let res = metis(&inst, &MetisConfig::with_theta(5)).unwrap();
+            assert!(res.evaluation.profit >= 0.0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn beats_or_matches_accept_all() {
+        // Metis's record starts from the accept-everything MAA schedule,
+        // so it can only improve on it.
+        let inst = instance(40, 1);
+        let all = maa(&inst, &vec![true; 40], &MaaOptions::default()).unwrap();
+        let res = metis(&inst, &MetisConfig::with_theta(6)).unwrap();
+        assert!(res.evaluation.profit >= all.evaluation.profit - 1e-9);
+    }
+
+    #[test]
+    fn theta_zero_is_one_maa_pass() {
+        let inst = instance(15, 2);
+        let res = metis(&inst, &MetisConfig::with_theta(0)).unwrap();
+        assert_eq!(res.rounds, 0);
+        assert_eq!(res.history.len(), 1);
+        assert_eq!(res.history[0].phase, Phase::Maa);
+    }
+
+    #[test]
+    fn history_interleaves_phases() {
+        let inst = instance(25, 3);
+        let res = metis(&inst, &MetisConfig::with_theta(3)).unwrap();
+        assert_eq!(res.history[0].phase, Phase::Maa);
+        for pair in res.history[1..].chunks(2) {
+            assert_eq!(pair[0].phase, Phase::Taa);
+            if pair.len() > 1 {
+                assert_eq!(pair[1].phase, Phase::Maa);
+            }
+        }
+    }
+
+    #[test]
+    fn best_profit_dominates_history() {
+        let inst = instance(30, 4);
+        let res = metis(&inst, &MetisConfig::with_theta(6)).unwrap();
+        let max_hist = res
+            .history
+            .iter()
+            .map(|r| r.profit)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((res.evaluation.profit - max_hist.max(0.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn more_theta_never_worse() {
+        let inst = instance(30, 5);
+        let p2 = metis(&inst, &MetisConfig::with_theta(2))
+            .unwrap()
+            .evaluation
+            .profit;
+        let p8 = metis(&inst, &MetisConfig::with_theta(8))
+            .unwrap()
+            .evaluation
+            .profit;
+        assert!(p8 >= p2 - 1e-9, "longer runs keep the SP Updater record");
+    }
+
+    #[test]
+    fn empty_workload() {
+        let topo = topologies::sub_b4();
+        let inst = SpmInstance::new(topo, Vec::new(), 12, 3);
+        let res = metis(&inst, &MetisConfig::with_theta(3)).unwrap();
+        assert_eq!(res.evaluation.profit, 0.0);
+        assert_eq!(res.evaluation.accepted, 0);
+    }
+}

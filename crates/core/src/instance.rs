@@ -1,0 +1,222 @@
+//! The service-profit-maximization (SPM) problem instance.
+
+use serde::{Deserialize, Serialize};
+
+use metis_netsim::{Path, PathCatalog, PathMetric, Topology};
+use metis_workload::{Request, RequestId};
+
+/// Default number of candidate paths enumerated per DC pair.
+pub const DEFAULT_PATHS_PER_PAIR: usize = 3;
+
+/// A complete SPM instance: the WAN, the billing cycle, the requests, and
+/// each request's candidate path set `P_i`.
+///
+/// # Examples
+///
+/// ```
+/// use metis_core::SpmInstance;
+/// use metis_netsim::topologies;
+/// use metis_workload::{generate, WorkloadConfig};
+///
+/// let topo = topologies::sub_b4();
+/// let requests = generate(&topo, &WorkloadConfig::paper(20, 1));
+/// let instance = SpmInstance::new(topo, requests, 12, 3);
+/// assert_eq!(instance.num_requests(), 20);
+/// assert!(instance.paths(metis_workload::RequestId(0)).len() >= 1);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SpmInstance {
+    topo: Topology,
+    requests: Vec<Request>,
+    /// Candidate paths per request, cheapest first.
+    paths: Vec<Vec<Path>>,
+    num_slots: usize,
+}
+
+impl SpmInstance {
+    /// Builds an instance, enumerating up to `paths_per_pair` cheapest
+    /// loopless paths for every request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any request fails validation against the topology and
+    /// cycle length, or if a request's endpoints are disconnected.
+    pub fn new(
+        topo: Topology,
+        requests: Vec<Request>,
+        num_slots: usize,
+        paths_per_pair: usize,
+    ) -> Self {
+        let catalog = PathCatalog::build(&topo, paths_per_pair, PathMetric::Price);
+        Self::with_catalog(topo, requests, num_slots, &catalog)
+    }
+
+    /// Builds an instance reusing a prebuilt [`PathCatalog`] (useful when
+    /// many instances share a topology).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`SpmInstance::new`].
+    pub fn with_catalog(
+        topo: Topology,
+        requests: Vec<Request>,
+        num_slots: usize,
+        catalog: &PathCatalog,
+    ) -> Self {
+        assert!(num_slots >= 1, "need at least one slot");
+        let mut paths = Vec::with_capacity(requests.len());
+        for r in &requests {
+            r.validate(topo.num_nodes(), num_slots)
+                .unwrap_or_else(|e| panic!("invalid request: {e}"));
+            let ps = catalog.paths(r.src, r.dst);
+            assert!(
+                !ps.is_empty(),
+                "request {} endpoints are disconnected ({} → {})",
+                r.id,
+                r.src,
+                r.dst
+            );
+            paths.push(ps.to_vec());
+        }
+        SpmInstance {
+            topo,
+            requests,
+            paths,
+            num_slots,
+        }
+    }
+
+    /// The WAN.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// All requests, indexed by [`RequestId::index`].
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// One request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn request(&self, id: RequestId) -> &Request {
+        &self.requests[id.index()]
+    }
+
+    /// Number of requests `K`.
+    pub fn num_requests(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Number of slots `T` in the billing cycle.
+    pub fn num_slots(&self) -> usize {
+        self.num_slots
+    }
+
+    /// Candidate paths `P_i` for a request, cheapest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn paths(&self, id: RequestId) -> &[Path] {
+        &self.paths[id.index()]
+    }
+
+    /// Iterates `(request, candidate paths)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Request, &[Path])> {
+        self.requests
+            .iter()
+            .zip(self.paths.iter().map(|p| p.as_slice()))
+    }
+
+    /// Sum of all bids: the revenue ceiling `Σ v_i`.
+    pub fn total_value(&self) -> f64 {
+        self.requests.iter().map(|r| r.value).sum()
+    }
+
+    /// A new instance over a subset of this one's requests (re-indexed
+    /// densely in the given order), sharing the topology and path sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range or repeated.
+    pub fn subset(&self, indices: &[usize]) -> SpmInstance {
+        let mut seen = vec![false; self.requests.len()];
+        let mut requests = Vec::with_capacity(indices.len());
+        let mut paths = Vec::with_capacity(indices.len());
+        for (new_id, &i) in indices.iter().enumerate() {
+            assert!(i < self.requests.len(), "request index {i} out of range");
+            assert!(!seen[i], "request index {i} repeated");
+            seen[i] = true;
+            let mut r = self.requests[i].clone();
+            r.id = RequestId(new_id as u32);
+            requests.push(r);
+            paths.push(self.paths[i].clone());
+        }
+        SpmInstance {
+            topo: self.topo.clone(),
+            requests,
+            paths,
+            num_slots: self.num_slots,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metis_netsim::topologies;
+    use metis_workload::{generate, WorkloadConfig};
+
+    fn instance(k: usize) -> SpmInstance {
+        let topo = topologies::sub_b4();
+        let reqs = generate(&topo, &WorkloadConfig::paper(k, 1));
+        SpmInstance::new(topo, reqs, 12, 3)
+    }
+
+    #[test]
+    fn paths_connect_request_endpoints() {
+        let inst = instance(30);
+        for (r, ps) in inst.iter() {
+            assert!(!ps.is_empty());
+            for p in ps {
+                assert_eq!(p.source(), r.src);
+                assert_eq!(p.dest(), r.dst);
+            }
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let inst = instance(5);
+        assert_eq!(inst.num_requests(), 5);
+        assert_eq!(inst.num_slots(), 12);
+        assert_eq!(inst.request(RequestId(2)).id, RequestId(2));
+        assert!(inst.total_value() > 0.0);
+        assert_eq!(inst.topology().num_nodes(), 6);
+    }
+
+    #[test]
+    fn with_catalog_matches_new() {
+        let topo = topologies::sub_b4();
+        let reqs = generate(&topo, &WorkloadConfig::paper(10, 4));
+        let cat = PathCatalog::build(&topo, 3, PathMetric::Price);
+        let a = SpmInstance::new(topo.clone(), reqs.clone(), 12, 3);
+        let b = SpmInstance::with_catalog(topo, reqs, 12, &cat);
+        for id in 0..10 {
+            let id = RequestId(id);
+            assert_eq!(a.paths(id), b.paths(id));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid request")]
+    fn invalid_request_rejected() {
+        let topo = topologies::sub_b4();
+        let mut reqs = generate(&topo, &WorkloadConfig::paper(3, 1));
+        reqs[1].end = 99;
+        SpmInstance::new(topo, reqs, 12, 3);
+    }
+}

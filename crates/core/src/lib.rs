@@ -1,0 +1,59 @@
+//! **Metis**: profit-maximizing admission and scheduling of inter-DC
+//! transfer requests — the core contribution of *"Towards Maximal Service
+//! Profit in Geo-Distributed Clouds"* (ICDCS 2019).
+//!
+//! A cloud provider leases WAN links at per-unit prices billed on peak
+//! usage, receives bandwidth-reservation bids, and may decline requests.
+//! Service-profit maximization (SPM: revenue − bandwidth cost) is NP-hard,
+//! so Metis alternates two approximable variants:
+//!
+//! * [`maa`] solves **RL-SPM** (serve a fixed set as cheaply as possible)
+//!   by LP relaxation + randomized rounding + integer ceiling;
+//! * [`taa`] solves **BL-SPM** (maximize revenue under fixed capacities)
+//!   by LP relaxation + Chernoff-scaled probabilities + a derandomized
+//!   decision-tree walk;
+//! * [`metis`] runs the alternation with a bandwidth [`LimiterRule`] and
+//!   keeps the best schedule (the SP Updater).
+//!
+//! # Quick start
+//!
+//! ```
+//! use metis_core::{metis, MetisConfig, SpmInstance};
+//! use metis_netsim::topologies;
+//! use metis_workload::{generate, WorkloadConfig};
+//!
+//! let topo = topologies::b4();
+//! let requests = generate(&topo, &WorkloadConfig::paper(50, 1));
+//! let instance = SpmInstance::new(topo, requests, 12, 3);
+//!
+//! let result = metis(&instance, &MetisConfig::with_theta(4))?;
+//! println!(
+//!     "profit {:.2} with {}/{} requests accepted",
+//!     result.evaluation.profit,
+//!     result.evaluation.accepted,
+//!     instance.num_requests(),
+//! );
+//! # Ok::<(), metis_lp::SolveError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod blspm;
+pub mod chernoff;
+mod framework;
+mod instance;
+mod limiter;
+mod online;
+mod rlspm;
+mod schedule;
+
+pub use analysis::{analyze, LinkOutcome, RequestOutcome, ScheduleAnalysis};
+pub use blspm::{solve_blspm_relaxation, taa, BlspmRelaxation, TaaOptions, TaaResult};
+pub use framework::{metis, IterationRecord, MetisConfig, MetisResult, Phase};
+pub use instance::{SpmInstance, DEFAULT_PATHS_PER_PAIR};
+pub use limiter::LimiterRule;
+pub use online::{online_metis, EpochRecord, OnlineOptions, OnlineResult};
+pub use rlspm::{maa, round_schedule, solve_rlspm_relaxation, MaaOptions, MaaResult, RlspmRelaxation};
+pub use schedule::{CapacityViolation, Evaluation, Schedule};

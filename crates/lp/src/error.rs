@@ -1,0 +1,66 @@
+//! Error types for the LP and MILP solvers.
+
+use std::error::Error;
+use std::fmt;
+
+/// Failure modes of [`crate::Problem::solve`] and the MILP solver.
+///
+/// "No optimal solution exists" outcomes (infeasible / unbounded) are
+/// reported as errors so that a returned [`crate::Solution`] always carries
+/// a usable point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SolveError {
+    /// The constraints admit no feasible point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// The pivot limit was exhausted before reaching optimality.
+    IterationLimit,
+    /// The basis became numerically singular and could not be recovered.
+    Singular,
+    /// Branch-and-bound exhausted its node budget with no feasible incumbent.
+    NodeLimit,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            SolveError::Infeasible => "problem is infeasible",
+            SolveError::Unbounded => "objective is unbounded",
+            SolveError::IterationLimit => "simplex iteration limit reached",
+            SolveError::Singular => "basis matrix is numerically singular",
+            SolveError::NodeLimit => "branch-and-bound node limit reached without incumbent",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl Error for SolveError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        for e in [
+            SolveError::Infeasible,
+            SolveError::Unbounded,
+            SolveError::IterationLimit,
+            SolveError::Singular,
+            SolveError::NodeLimit,
+        ] {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn check<T: Error + Send + Sync + 'static>() {}
+        check::<SolveError>();
+    }
+}

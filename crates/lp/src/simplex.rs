@@ -1,0 +1,1420 @@
+//! Bounded-variable revised simplex with a dense explicit basis inverse.
+//!
+//! The solver works on an internal standard form
+//!
+//! ```text
+//! min c·x   s.t.  A x + s = b,   l ≤ (x, s, a) ≤ u
+//! ```
+//!
+//! with one slack per row (`≤` rows get `s ∈ [0, ∞)`, `≥` rows
+//! `s ∈ (−∞, 0]`, `=` rows `s ∈ [0, 0]`) and, during phase 1, one artificial
+//! variable per initially-infeasible row. Maximization is handled by
+//! negating the objective.
+//!
+//! Design choices sized for this workspace's LPs (≈10³ rows, ≈10³–10⁴
+//! columns, very sparse):
+//!
+//! * `B⁻¹` is kept as a dense `m×m` matrix, updated by elementary row
+//!   operations on each pivot (`O(m²)`) and recomputed from scratch every
+//!   [`SolveOptions::refresh_every`] pivots to bound drift.
+//! * Dantzig pricing (most violating reduced cost) with an automatic switch
+//!   to Bland's rule after a run of degenerate pivots, which guarantees
+//!   termination.
+
+use crate::error::SolveError;
+use crate::matrix::{CscBuilder, CscMatrix};
+use crate::model::{Problem, Relation, Sense};
+use crate::solution::Solution;
+
+/// Tuning knobs for the simplex solver.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SolveOptions {
+    /// Feasibility / optimality tolerance.
+    pub tol: f64,
+    /// Smallest pivot magnitude accepted in the ratio test.
+    pub pivot_tol: f64,
+    /// Hard cap on pivots across both phases; `0` means automatic
+    /// (`1000 + 50·(m + n)`).
+    pub max_iterations: usize,
+    /// Recompute `B⁻¹` from scratch every this many pivots.
+    pub refresh_every: usize,
+    /// Number of consecutive degenerate pivots before switching to
+    /// Bland's rule.
+    pub bland_after: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            tol: 1e-7,
+            pivot_tol: 1e-9,
+            max_iterations: 0,
+            refresh_every: 300,
+            bland_after: 200,
+        }
+    }
+}
+
+/// A snapshot of an optimal basis, reusable to warm-start the solve of a
+/// *related* problem (same rows and columns, different bounds) — the
+/// branch-and-bound pattern. Opaque; obtain one from
+/// [`Problem::solve_with_basis`].
+#[derive(Clone, Debug)]
+pub struct Basis {
+    /// Status of every structural variable and slack (artificials are
+    /// never snapshotted).
+    state: Vec<VarState>,
+    n_struct: usize,
+}
+
+impl Problem {
+    /// Solves the linear relaxation of this problem (integrality markers are
+    /// ignored) with default options.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::Infeasible`], [`SolveError::Unbounded`], or a
+    /// numerical/limit error.
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        self.solve_with(&SolveOptions::default())
+    }
+
+    /// Solves the linear relaxation with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// See [`Problem::solve`].
+    pub fn solve_with(&self, options: &SolveOptions) -> Result<Solution, SolveError> {
+        let mut s = Simplex::new(self, options);
+        s.run()
+    }
+
+    /// Solves the relaxation, optionally warm-starting from a [`Basis`]
+    /// snapshotted on a related problem (identical rows/columns; bounds
+    /// and costs may differ). Returns the solution together with the
+    /// final basis for further chaining.
+    ///
+    /// When the supplied basis is dual-feasible for this problem — the
+    /// case after tightening a variable bound, as branch-and-bound does —
+    /// reoptimization runs the **dual simplex** and typically needs a
+    /// handful of pivots. Otherwise the solver falls back to a cold
+    /// start; the result is identical either way.
+    ///
+    /// # Errors
+    ///
+    /// See [`Problem::solve`].
+    pub fn solve_with_basis(
+        &self,
+        options: &SolveOptions,
+        warm: Option<&Basis>,
+    ) -> Result<(Solution, Basis), SolveError> {
+        if let Some(basis) = warm {
+            let mut s = Simplex::new(self, options);
+            match s.run_from_basis(basis) {
+                Ok(done) => return Ok(done),
+                Err(SolveError::Infeasible) => return Err(SolveError::Infeasible),
+                Err(SolveError::Unbounded) => return Err(SolveError::Unbounded),
+                Err(_) => { /* numerically unusable start: cold-start below */ }
+            }
+        }
+        let mut s = Simplex::new(self, options);
+        let solution = s.run()?;
+        let basis = s.snapshot();
+        Ok((solution, basis))
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum VarState {
+    Basic(u32),
+    AtLower,
+    AtUpper,
+    /// Nonbasic free variable, held at value 0.
+    FreeZero,
+}
+
+struct Simplex {
+    /// Full standard-form matrix: structural | slacks | artificials.
+    a: CscMatrix,
+    /// Objective over all standard-form columns (minimization).
+    cost: Vec<f64>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    rhs: Vec<f64>,
+    n_struct: usize,
+    n_slack: usize,
+    maximize: bool,
+
+    state: Vec<VarState>,
+    basis: Vec<u32>,
+    /// Dense row-major `B⁻¹`, `m × m`.
+    binv: Vec<f64>,
+    /// Values of basic variables, per row.
+    xb: Vec<f64>,
+
+    opts: SolveOptions,
+    iterations: usize,
+    max_iterations: usize,
+    degenerate_streak: usize,
+    pivots_since_refresh: usize,
+
+    // Scratch buffers reused across iterations.
+    y: Vec<f64>,
+    w: Vec<f64>,
+}
+
+/// Outcome of one pricing step.
+enum Pricing {
+    Optimal,
+    Enter { col: usize, dir: f64 },
+}
+
+/// Outcome of one ratio test.
+enum Ratio {
+    Unbounded,
+    BoundFlip { step: f64 },
+    Pivot { row: usize, step: f64, to_upper: bool },
+}
+
+impl Simplex {
+    fn new(problem: &Problem, opts: &SolveOptions) -> Self {
+        let m = problem.num_constraints();
+        let n = problem.num_vars();
+        let maximize = problem.sense() == Sense::Maximize;
+
+        let structural = problem.to_csc();
+        let mut builder = CscBuilder::new(m);
+        // Re-add structural columns (CscBuilder has no concat; rebuild).
+        for j in 0..n {
+            builder.add_col(structural.col(j).iter());
+        }
+        let mut cost: Vec<f64> = problem
+            .vars
+            .iter()
+            .map(|v| if maximize { -v.obj } else { v.obj })
+            .collect();
+        let mut lower: Vec<f64> = problem.vars.iter().map(|v| v.lower).collect();
+        let mut upper: Vec<f64> = problem.vars.iter().map(|v| v.upper).collect();
+
+        // Slacks: a·x + s = b.
+        for (i, row) in problem.rows.iter().enumerate() {
+            builder.add_col([(i, 1.0)]);
+            cost.push(0.0);
+            match row.relation {
+                Relation::Le => {
+                    lower.push(0.0);
+                    upper.push(f64::INFINITY);
+                }
+                Relation::Ge => {
+                    lower.push(f64::NEG_INFINITY);
+                    upper.push(0.0);
+                }
+                Relation::Eq => {
+                    lower.push(0.0);
+                    upper.push(0.0);
+                }
+            }
+        }
+        let rhs: Vec<f64> = problem.rows.iter().map(|r| r.rhs).collect();
+
+        let max_iterations = if opts.max_iterations == 0 {
+            1000 + 50 * (m + n)
+        } else {
+            opts.max_iterations
+        };
+
+        Simplex {
+            a: builder.build(),
+            cost,
+            lower,
+            upper,
+            rhs,
+            n_struct: n,
+            n_slack: m,
+            maximize,
+            state: Vec::new(),
+            basis: Vec::new(),
+            binv: Vec::new(),
+            xb: Vec::new(),
+            opts: *opts,
+            iterations: 0,
+            max_iterations,
+            degenerate_streak: 0,
+            pivots_since_refresh: 0,
+            y: vec![0.0; m],
+            w: vec![0.0; m],
+        }
+    }
+
+    fn m(&self) -> usize {
+        self.rhs.len()
+    }
+
+    /// Resting value of a nonbasic variable in a given state.
+    fn nonbasic_value(&self, j: usize, st: VarState) -> f64 {
+        match st {
+            VarState::AtLower => self.lower[j],
+            VarState::AtUpper => self.upper[j],
+            VarState::FreeZero => 0.0,
+            VarState::Basic(_) => unreachable!("basic variable has no resting value"),
+        }
+    }
+
+    /// Initial nonbasic state: prefer a finite bound, else free at zero.
+    fn initial_state(&self, j: usize) -> VarState {
+        if self.lower[j].is_finite() {
+            VarState::AtLower
+        } else if self.upper[j].is_finite() {
+            VarState::AtUpper
+        } else {
+            VarState::FreeZero
+        }
+    }
+
+    fn run(&mut self) -> Result<Solution, SolveError> {
+        let m = self.m();
+        let n_total = self.n_struct + self.n_slack;
+
+        // --- Initial point: structural vars at a bound, slacks basic. ---
+        self.state = (0..n_total)
+            .map(|j| {
+                if j < self.n_struct {
+                    self.initial_state(j)
+                } else {
+                    VarState::Basic((j - self.n_struct) as u32)
+                }
+            })
+            .collect();
+        self.basis = (0..m).map(|i| (self.n_struct + i) as u32).collect();
+        // B = I for the slack basis.
+        self.binv = vec![0.0; m * m];
+        for i in 0..m {
+            self.binv[i * m + i] = 1.0;
+        }
+
+        // Row residuals with all structural vars at their resting values.
+        let mut resid = self.rhs.clone();
+        for j in 0..self.n_struct {
+            let v = self.nonbasic_value(j, self.state[j]);
+            if v != 0.0 {
+                self.a.axpy_col(j, -v, &mut resid);
+            }
+        }
+
+        // --- Phase 1: add artificials for rows whose slack can't absorb
+        // the residual. ---
+        let mut need_phase1 = false;
+        let mut art_builder = CscBuilder::new(m);
+        let mut art_rows: Vec<usize> = Vec::new();
+        self.xb = vec![0.0; m];
+        for i in 0..m {
+            let sj = self.n_struct + i;
+            let (sl, su) = (self.lower[sj], self.upper[sj]);
+            let r = resid[i];
+            if r > su + self.opts.tol {
+                // Slack pinned at its upper bound; artificial absorbs r − su.
+                self.state[sj] = VarState::AtUpper;
+                self.xb[i] = r - su;
+                art_builder.add_col([(i, 1.0)]);
+                art_rows.push(i);
+                need_phase1 = true;
+            } else if r < sl - self.opts.tol {
+                self.state[sj] = VarState::AtLower;
+                self.xb[i] = sl - r;
+                art_builder.add_col([(i, -1.0)]);
+                // B gets a −1 on this diagonal, so B⁻¹ does too.
+                self.binv[i * m + i] = -1.0;
+                art_rows.push(i);
+                need_phase1 = true;
+            } else {
+                self.xb[i] = r.clamp(sl.min(su), su.max(sl));
+            }
+        }
+
+        if need_phase1 {
+            // Splice artificial columns into the matrix and vectors.
+            let art = art_builder.build();
+            let mut builder = CscBuilder::new(m);
+            for j in 0..n_total {
+                builder.add_col(self.a.col(j).iter());
+            }
+            for k in 0..art.ncols() {
+                builder.add_col(art.col(k).iter());
+            }
+            self.a = builder.build();
+            let n_art = art_rows.len();
+            let saved_cost = std::mem::replace(&mut self.cost, vec![0.0; n_total + n_art]);
+            for (k, &row) in art_rows.iter().enumerate() {
+                let aj = n_total + k;
+                self.cost[aj] = 1.0;
+                self.lower.push(0.0);
+                self.upper.push(f64::INFINITY);
+                self.state.push(VarState::Basic(row as u32));
+                // The artificial replaces the slack as the basic variable
+                // of its row; xb[row] was already set above.
+                self.basis[row] = aj as u32;
+            }
+
+            self.optimize()?;
+
+            let phase1_obj = self.current_objective();
+            if phase1_obj > self.opts.tol.max(1e-6) {
+                return Err(SolveError::Infeasible);
+            }
+            // Freeze artificials at zero for phase 2. Basic artificials at
+            // value 0 are harmless: the [0,0] range blocks any move through
+            // them, forcing them out of the basis on contact.
+            for k in 0..n_art {
+                let aj = n_total + k;
+                self.lower[aj] = 0.0;
+                self.upper[aj] = 0.0;
+                if !matches!(self.state[aj], VarState::Basic(_)) {
+                    self.state[aj] = VarState::AtLower;
+                }
+            }
+            // Restore the real objective (zero on artificials).
+            self.cost = saved_cost;
+            self.cost.resize(n_total + n_art, 0.0);
+        }
+
+        // --- Phase 2. ---
+        self.degenerate_streak = 0;
+        self.optimize()?;
+
+        self.extract_solution()
+    }
+
+    /// Snapshots the current basis over structural + slack columns.
+    /// Rows whose basic variable is an artificial are remapped to their
+    /// slack when possible; when not, the snapshot is unusable and a
+    /// warm start from it will fall back to a cold start.
+    fn snapshot(&self) -> Basis {
+        let nm = self.n_struct + self.n_slack;
+        let mut state: Vec<VarState> = self.state[..nm].to_vec();
+        for (r, &bj) in self.basis.iter().enumerate() {
+            if (bj as usize) >= nm {
+                let slack = self.n_struct + r;
+                if !matches!(state[slack], VarState::Basic(_)) {
+                    state[slack] = VarState::Basic(r as u32);
+                }
+            }
+        }
+        Basis {
+            state,
+            n_struct: self.n_struct,
+        }
+    }
+
+    /// Attempts a warm-started solve from a snapshotted basis: restore →
+    /// dual simplex (restores primal feasibility) → primal simplex.
+    ///
+    /// Errors other than `Infeasible`/`Unbounded` mean "basis unusable";
+    /// the caller cold-starts.
+    fn run_from_basis(&mut self, warm: &Basis) -> Result<(Solution, Basis), SolveError> {
+        let m = self.m();
+        let nm = self.n_struct + self.n_slack;
+        if warm.n_struct != self.n_struct || warm.state.len() != nm {
+            return Err(SolveError::Singular);
+        }
+        // Restore statuses, reconciling nonbasic states with the current
+        // bounds (a tightened bound may have invalidated the old resting
+        // side).
+        self.state = warm.state.clone();
+        let mut basis: Vec<Option<u32>> = vec![None; m];
+        let mut basic_count = 0;
+        for j in 0..nm {
+            match self.state[j] {
+                VarState::Basic(r) => {
+                    let r = r as usize;
+                    if r >= m || basis[r].is_some() {
+                        return Err(SolveError::Singular);
+                    }
+                    basis[r] = Some(j as u32);
+                    basic_count += 1;
+                }
+                VarState::AtLower if !self.lower[j].is_finite() => {
+                    self.state[j] = if self.upper[j].is_finite() {
+                        VarState::AtUpper
+                    } else {
+                        VarState::FreeZero
+                    };
+                }
+                VarState::AtUpper if !self.upper[j].is_finite() => {
+                    self.state[j] = if self.lower[j].is_finite() {
+                        VarState::AtLower
+                    } else {
+                        VarState::FreeZero
+                    };
+                }
+                _ => {}
+            }
+        }
+        if basic_count != m {
+            return Err(SolveError::Singular);
+        }
+        self.basis = basis.into_iter().map(|b| b.unwrap()).collect();
+        self.binv = vec![0.0; m * m];
+        self.xb = vec![0.0; m];
+        self.refresh()?; // factorizes B and recomputes xb
+
+        // The warm basis must be dual-feasible (reduced costs consistent
+        // with the nonbasic statuses); bound changes preserve this, other
+        // edits may not.
+        if !self.is_dual_feasible() {
+            return Err(SolveError::IterationLimit);
+        }
+
+        self.degenerate_streak = 0;
+        self.dual_optimize()?;
+        // Polish with the primal (usually zero pivots).
+        self.optimize()?;
+        let solution = self.extract_solution()?;
+        let basis = self.snapshot();
+        Ok((solution, basis))
+    }
+
+    /// Whether every nonbasic reduced cost is consistent with its status.
+    fn is_dual_feasible(&mut self) -> bool {
+        let m = self.m();
+        for j in 0..m {
+            self.y[j] = 0.0;
+        }
+        for (i, &bj) in self.basis.iter().enumerate() {
+            let cb = self.cost[bj as usize];
+            if cb != 0.0 {
+                let row = &self.binv[i * m..(i + 1) * m];
+                for (yj, &bij) in self.y.iter_mut().zip(row) {
+                    *yj += cb * bij;
+                }
+            }
+        }
+        let tol = self.opts.tol.max(1e-7) * 10.0;
+        for j in 0..self.state.len() {
+            let d = match self.state[j] {
+                VarState::Basic(_) => continue,
+                _ => self.cost[j] - self.a.dot_col(j, &self.y),
+            };
+            let ok = match self.state[j] {
+                VarState::AtLower => self.lower[j] >= self.upper[j] || d >= -tol,
+                VarState::AtUpper => self.lower[j] >= self.upper[j] || d <= tol,
+                VarState::FreeZero => d.abs() <= tol,
+                VarState::Basic(_) => unreachable!(),
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Dual simplex: starting from a dual-feasible basis, drive all basic
+    /// variables back inside their bounds.
+    fn dual_optimize(&mut self) -> Result<(), SolveError> {
+        let m = self.m();
+        loop {
+            if self.iterations >= self.max_iterations {
+                return Err(SolveError::IterationLimit);
+            }
+            // Leaving row: most violated basic variable.
+            let mut leave: Option<(usize, f64, bool)> = None; // (row, viol, at_upper)
+            for r in 0..m {
+                let bj = self.basis[r] as usize;
+                let below = self.lower[bj] - self.xb[r];
+                let above = self.xb[r] - self.upper[bj];
+                let (viol, at_upper) = if below > above { (below, false) } else { (above, true) };
+                if viol > self.opts.tol {
+                    match leave {
+                        Some((_, v, _)) if v >= viol => {}
+                        _ => leave = Some((r, viol, at_upper)),
+                    }
+                }
+            }
+            let Some((row, _, at_upper)) = leave else {
+                return Ok(()); // primal feasible
+            };
+            self.iterations += 1;
+
+            let bj = self.basis[row] as usize;
+            let target = if at_upper { self.upper[bj] } else { self.lower[bj] };
+            let need_up = target > self.xb[row];
+
+            // Duals for reduced costs.
+            for j in 0..m {
+                self.y[j] = 0.0;
+            }
+            for (i, &bcol) in self.basis.iter().enumerate() {
+                let cb = self.cost[bcol as usize];
+                if cb != 0.0 {
+                    let brow = &self.binv[i * m..(i + 1) * m];
+                    for (yj, &bij) in self.y.iter_mut().zip(brow) {
+                        *yj += cb * bij;
+                    }
+                }
+            }
+            let rho = self.binv[row * m..(row + 1) * m].to_vec();
+
+            // Entering column: dual ratio test.
+            let mut best: Option<(usize, f64, f64, f64)> = None; // (col, dir, ratio, |alpha|)
+            for j in 0..self.state.len() {
+                let dirs: &[f64] = match self.state[j] {
+                    VarState::Basic(_) => continue,
+                    VarState::AtLower if self.lower[j] >= self.upper[j] => continue,
+                    VarState::AtUpper if self.lower[j] >= self.upper[j] => continue,
+                    VarState::AtLower => &[1.0],
+                    VarState::AtUpper => &[-1.0],
+                    VarState::FreeZero => &[1.0, -1.0],
+                };
+                let alpha = {
+                    let c = self.a.col(j);
+                    let mut acc = 0.0;
+                    for (r, v) in c.iter() {
+                        acc += v * rho[r];
+                    }
+                    acc
+                };
+                if alpha.abs() < self.opts.pivot_tol {
+                    continue;
+                }
+                let d = self.cost[j] - self.a.dot_col(j, &self.y);
+                for &dir in dirs {
+                    // Moving j by t·dir changes xb[row] by −alpha·dir·t.
+                    let rises = -alpha * dir > 0.0;
+                    if rises != need_up {
+                        continue;
+                    }
+                    // Dual feasibility keeps d·dir ≥ 0 (within tol).
+                    let ratio = (d * dir).max(0.0) / alpha.abs();
+                    let better = match best {
+                        None => true,
+                        Some((_, _, br, ba)) => {
+                            ratio < br - 1e-12 || (ratio < br + 1e-12 && alpha.abs() > ba)
+                        }
+                    };
+                    if better {
+                        best = Some((j, dir, ratio, alpha.abs()));
+                    }
+                }
+            }
+            let Some((col, dir, _, _)) = best else {
+                // No way to repair this row: the problem is infeasible.
+                return Err(SolveError::Infeasible);
+            };
+
+            self.compute_direction(col);
+            let wr = self.w[row];
+            if wr.abs() < self.opts.pivot_tol {
+                return Err(SolveError::Singular);
+            }
+            let step = (self.xb[row] - target) / (dir * wr);
+            if step < -1e-7 {
+                return Err(SolveError::Singular); // sign bookkeeping broke
+            }
+            self.apply_pivot(col, dir, row, step.max(0.0), at_upper)?;
+        }
+    }
+
+    /// Reads the structural solution and duals off the final basis.
+    fn extract_solution(&mut self) -> Result<Solution, SolveError> {
+        // Extract structural values.
+        let mut x = vec![0.0; self.n_struct];
+        for j in 0..self.n_struct {
+            x[j] = match self.state[j] {
+                VarState::Basic(row) => self.xb[row as usize],
+                st => self.nonbasic_value(j, st),
+            };
+        }
+        let mut obj = 0.0;
+        for j in 0..self.n_struct {
+            obj += self.cost[j] * x[j];
+        }
+        if self.maximize {
+            obj = -obj;
+        }
+
+        // Row duals `y = c_Bᵀ B⁻¹` of the final basis, converted back to
+        // the problem's own sense (we minimized the negated objective
+        // when maximizing).
+        let m = self.m();
+        let mut duals = vec![0.0; m];
+        for (i, &bj) in self.basis.iter().enumerate() {
+            let cb = self.cost[bj as usize];
+            if cb != 0.0 {
+                let row = &self.binv[i * m..(i + 1) * m];
+                for (dj, &bij) in duals.iter_mut().zip(row) {
+                    *dj += cb * bij;
+                }
+            }
+        }
+        if self.maximize {
+            for d in &mut duals {
+                *d = -*d;
+            }
+        }
+        Ok(Solution::new(obj, x, self.iterations).with_duals(duals))
+    }
+
+    /// Objective of the current basic solution under `self.cost`.
+    fn current_objective(&self) -> f64 {
+        let mut obj = 0.0;
+        for (i, &bj) in self.basis.iter().enumerate() {
+            obj += self.cost[bj as usize] * self.xb[i];
+        }
+        for (j, &st) in self.state.iter().enumerate() {
+            if !matches!(st, VarState::Basic(_)) && self.cost[j] != 0.0 {
+                obj += self.cost[j] * self.nonbasic_value(j, st);
+            }
+        }
+        obj
+    }
+
+    /// Runs primal simplex iterations until optimal for the current costs.
+    fn optimize(&mut self) -> Result<(), SolveError> {
+        loop {
+            if self.iterations >= self.max_iterations {
+                return Err(SolveError::IterationLimit);
+            }
+            let bland = self.degenerate_streak >= self.opts.bland_after;
+            match self.price(bland) {
+                Pricing::Optimal => return Ok(()),
+                Pricing::Enter { col, dir } => {
+                    self.iterations += 1;
+                    self.compute_direction(col);
+                    match self.ratio_test(col, dir) {
+                        Ratio::Unbounded => return Err(SolveError::Unbounded),
+                        Ratio::BoundFlip { step } => {
+                            self.apply_bound_flip(col, dir, step);
+                            self.degenerate_streak = 0;
+                        }
+                        Ratio::Pivot { row, step, to_upper } => {
+                            if step <= self.opts.tol {
+                                self.degenerate_streak += 1;
+                            } else {
+                                self.degenerate_streak = 0;
+                            }
+                            self.apply_pivot(col, dir, row, step, to_upper)?;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Computes duals `y = c_Bᵀ B⁻¹` and picks an entering column.
+    fn price(&mut self, bland: bool) -> Pricing {
+        let m = self.m();
+        // y = c_B^T · B^{-1}
+        for j in 0..m {
+            self.y[j] = 0.0;
+        }
+        for (i, &bj) in self.basis.iter().enumerate() {
+            let cb = self.cost[bj as usize];
+            if cb != 0.0 {
+                let row = &self.binv[i * m..(i + 1) * m];
+                for (yj, &bij) in self.y.iter_mut().zip(row) {
+                    *yj += cb * bij;
+                }
+            }
+        }
+
+        let tol = self.opts.tol;
+        let mut best: Option<(usize, f64, f64)> = None; // (col, dir, score)
+        for j in 0..self.state.len() {
+            let (dir, score) = match self.state[j] {
+                VarState::Basic(_) => continue,
+                VarState::AtLower => {
+                    if self.lower[j] >= self.upper[j] {
+                        continue; // fixed variable
+                    }
+                    let d = self.cost[j] - self.a.dot_col(j, &self.y);
+                    if d < -tol {
+                        (1.0, -d)
+                    } else {
+                        continue;
+                    }
+                }
+                VarState::AtUpper => {
+                    if self.lower[j] >= self.upper[j] {
+                        continue;
+                    }
+                    let d = self.cost[j] - self.a.dot_col(j, &self.y);
+                    if d > tol {
+                        (-1.0, d)
+                    } else {
+                        continue;
+                    }
+                }
+                VarState::FreeZero => {
+                    let d = self.cost[j] - self.a.dot_col(j, &self.y);
+                    if d < -tol {
+                        (1.0, -d)
+                    } else if d > tol {
+                        (-1.0, d)
+                    } else {
+                        continue;
+                    }
+                }
+            };
+            if bland {
+                return Pricing::Enter { col: j, dir };
+            }
+            match best {
+                Some((_, _, s)) if s >= score => {}
+                _ => best = Some((j, dir, score)),
+            }
+        }
+        match best {
+            Some((col, dir, _)) => Pricing::Enter { col, dir },
+            None => Pricing::Optimal,
+        }
+    }
+
+    /// `w = B⁻¹ · A[:, col]`.
+    fn compute_direction(&mut self, col: usize) {
+        let m = self.m();
+        for i in 0..m {
+            self.w[i] = 0.0;
+        }
+        for (r, v) in self.a.col(col).iter() {
+            // w += v * B^{-1}[:, r]
+            for i in 0..m {
+                self.w[i] += v * self.binv[i * m + r];
+            }
+        }
+    }
+
+    /// Finds the blocking constraint for the entering column moving by
+    /// `t ≥ 0` in direction `dir` (basics change by `−t·dir·w`).
+    fn ratio_test(&self, col: usize, dir: f64) -> Ratio {
+        let ptol = self.opts.pivot_tol;
+        let range = self.upper[col] - self.lower[col];
+        let mut t_best = if range.is_finite() { range } else { f64::INFINITY };
+        let mut blocking: Option<(usize, bool)> = None; // (row, leaves_at_upper)
+
+        for i in 0..self.m() {
+            let delta = -dir * self.w[i];
+            let bj = self.basis[i] as usize;
+            if delta > ptol {
+                // Basic variable increases; blocked by its upper bound.
+                let ub = self.upper[bj];
+                if ub.is_finite() {
+                    let t = (ub - self.xb[i]) / delta;
+                    if t < t_best - 1e-12 || (t < t_best + 1e-12 && blocking.is_none()) {
+                        t_best = t.max(0.0);
+                        blocking = Some((i, true));
+                    }
+                }
+            } else if delta < -ptol {
+                let lb = self.lower[bj];
+                if lb.is_finite() {
+                    let t = (lb - self.xb[i]) / delta;
+                    if t < t_best - 1e-12 || (t < t_best + 1e-12 && blocking.is_none()) {
+                        t_best = t.max(0.0);
+                        blocking = Some((i, false));
+                    }
+                }
+            }
+        }
+
+        match blocking {
+            None if t_best.is_infinite() => Ratio::Unbounded,
+            None => Ratio::BoundFlip { step: t_best },
+            Some((row, to_upper)) => Ratio::Pivot {
+                row,
+                step: t_best,
+                to_upper,
+            },
+        }
+    }
+
+    /// Entering variable traverses its whole range without any basic
+    /// variable blocking: flip it to the opposite bound.
+    fn apply_bound_flip(&mut self, col: usize, dir: f64, step: f64) {
+        for i in 0..self.m() {
+            self.xb[i] -= step * dir * self.w[i];
+        }
+        self.state[col] = match self.state[col] {
+            VarState::AtLower => VarState::AtUpper,
+            VarState::AtUpper => VarState::AtLower,
+            other => other, // free variables never bound-flip (infinite range)
+        };
+    }
+
+    fn apply_pivot(
+        &mut self,
+        col: usize,
+        dir: f64,
+        row: usize,
+        step: f64,
+        to_upper: bool,
+    ) -> Result<(), SolveError> {
+        let m = self.m();
+        let pivot = self.w[row];
+        if pivot.abs() < self.opts.pivot_tol {
+            return Err(SolveError::Singular);
+        }
+
+        // Update basic values and the entering variable's value.
+        for i in 0..m {
+            self.xb[i] -= step * dir * self.w[i];
+        }
+        let entering_start = match self.state[col] {
+            VarState::Basic(_) => unreachable!("entering variable is basic"),
+            st => self.nonbasic_value(col, st),
+        };
+        let entering_value = entering_start + dir * step;
+
+        // Leaving variable exits at the bound it hit.
+        let leaving = self.basis[row] as usize;
+        self.state[leaving] = if to_upper {
+            VarState::AtUpper
+        } else {
+            VarState::AtLower
+        };
+        // Snap exactly onto the bound to stop drift.
+        let snapped = if to_upper {
+            self.upper[leaving]
+        } else {
+            self.lower[leaving]
+        };
+        debug_assert!(
+            (self.xb[row] - snapped).abs() < 1e-4,
+            "leaving variable far from its bound"
+        );
+        let _ = snapped;
+
+        self.basis[row] = col as u32;
+        self.state[col] = VarState::Basic(row as u32);
+        self.xb[row] = entering_value;
+
+        // Elementary row update of B^{-1}: pivot row divided by w_row,
+        // others eliminated.
+        let inv_pivot = 1.0 / pivot;
+        // Split borrow: copy pivot row once.
+        let prow: Vec<f64> = self.binv[row * m..(row + 1) * m]
+            .iter()
+            .map(|&v| v * inv_pivot)
+            .collect();
+        for i in 0..m {
+            if i == row {
+                continue;
+            }
+            let wi = self.w[i];
+            if wi != 0.0 {
+                let base = i * m;
+                for (k, &pv) in prow.iter().enumerate() {
+                    self.binv[base + k] -= wi * pv;
+                }
+            }
+        }
+        self.binv[row * m..(row + 1) * m].copy_from_slice(&prow);
+
+        self.pivots_since_refresh += 1;
+        if self.pivots_since_refresh >= self.opts.refresh_every {
+            self.refresh()?;
+        }
+        Ok(())
+    }
+
+    /// Recomputes `B⁻¹` and the basic values from scratch.
+    fn refresh(&mut self) -> Result<(), SolveError> {
+        self.pivots_since_refresh = 0;
+        let m = self.m();
+        // Assemble B column-wise into an augmented [B | I] dense matrix and
+        // run Gauss-Jordan with partial pivoting.
+        let mut aug = vec![0.0; m * 2 * m];
+        let width = 2 * m;
+        for (i, &bj) in self.basis.iter().enumerate() {
+            for (r, v) in self.a.col(bj as usize).iter() {
+                aug[r * width + i] = v;
+            }
+        }
+        for i in 0..m {
+            aug[i * width + m + i] = 1.0;
+        }
+        for col in 0..m {
+            // Partial pivot.
+            let mut best = col;
+            let mut best_abs = aug[col * width + col].abs();
+            for r in (col + 1)..m {
+                let a = aug[r * width + col].abs();
+                if a > best_abs {
+                    best_abs = a;
+                    best = r;
+                }
+            }
+            if best_abs < 1e-12 {
+                return Err(SolveError::Singular);
+            }
+            if best != col {
+                for k in 0..width {
+                    aug.swap(col * width + k, best * width + k);
+                }
+            }
+            let inv = 1.0 / aug[col * width + col];
+            for k in 0..width {
+                aug[col * width + k] *= inv;
+            }
+            for r in 0..m {
+                if r == col {
+                    continue;
+                }
+                let f = aug[r * width + col];
+                if f != 0.0 {
+                    for k in 0..width {
+                        aug[r * width + k] -= f * aug[col * width + k];
+                    }
+                }
+            }
+        }
+        for i in 0..m {
+            for k in 0..m {
+                self.binv[i * m + k] = aug[i * width + m + k];
+            }
+        }
+        // xb = B^{-1} (b − N x_N)
+        let mut resid = self.rhs.clone();
+        for (j, &st) in self.state.iter().enumerate() {
+            if matches!(st, VarState::Basic(_)) {
+                continue;
+            }
+            let v = self.nonbasic_value(j, st);
+            if v != 0.0 {
+                self.a.axpy_col(j, -v, &mut resid);
+            }
+        }
+        for i in 0..m {
+            let mut acc = 0.0;
+            let base = i * m;
+            for k in 0..m {
+                acc += self.binv[base + k] * resid[k];
+            }
+            self.xb[i] = acc;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Problem, Relation, Sense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!(
+            (a - b).abs() < 1e-6,
+            "expected {b}, got {a} (diff {})",
+            (a - b).abs()
+        );
+    }
+
+    #[test]
+    fn trivial_bounds_only() {
+        // min 2x − 3y, 0 ≤ x ≤ 1, 0 ≤ y ≤ 2 → x=0, y=2.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(2.0, 0.0, 1.0);
+        let y = p.add_var(-3.0, 0.0, 2.0);
+        let s = p.solve().unwrap();
+        assert_close(s.objective(), -6.0);
+        assert_close(s.value(x), 0.0);
+        assert_close(s.value(y), 2.0);
+    }
+
+    #[test]
+    fn classic_2d_max() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), obj 36.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(3.0, 0.0, f64::INFINITY);
+        let y = p.add_var(5.0, 0.0, f64::INFINITY);
+        p.add_constraint([(x, 1.0)], Relation::Le, 4.0);
+        p.add_constraint([(y, 2.0)], Relation::Le, 12.0);
+        p.add_constraint([(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        let s = p.solve().unwrap();
+        assert_close(s.objective(), 36.0);
+        assert_close(s.value(x), 2.0);
+        assert_close(s.value(y), 6.0);
+    }
+
+    #[test]
+    fn equality_and_ge_need_phase1() {
+        // min x + y s.t. x + y = 2, x ≥ 0.5 → obj 2.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(1.0, 0.0, f64::INFINITY);
+        let y = p.add_var(1.0, 0.0, f64::INFINITY);
+        p.add_constraint([(x, 1.0), (y, 1.0)], Relation::Eq, 2.0);
+        p.add_constraint([(x, 1.0)], Relation::Ge, 0.5);
+        let s = p.solve().unwrap();
+        assert_close(s.objective(), 2.0);
+        assert!(s.value(x) >= 0.5 - 1e-7);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(1.0, 0.0, 1.0);
+        p.add_constraint([(x, 1.0)], Relation::Ge, 2.0);
+        assert_eq!(p.solve().unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn infeasible_conflicting_rows() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(0.0, f64::NEG_INFINITY, f64::INFINITY);
+        p.add_constraint([(x, 1.0)], Relation::Ge, 3.0);
+        p.add_constraint([(x, 1.0)], Relation::Le, 1.0);
+        assert_eq!(p.solve().unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(1.0, 0.0, f64::INFINITY);
+        let y = p.add_var(0.0, 0.0, f64::INFINITY);
+        p.add_constraint([(x, 1.0), (y, -1.0)], Relation::Le, 1.0);
+        assert_eq!(p.solve().unwrap_err(), SolveError::Unbounded);
+    }
+
+    #[test]
+    fn free_variable() {
+        // min |x| style: min x s.t. x ≥ −5 handled via free var + Ge row.
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(1.0, f64::NEG_INFINITY, f64::INFINITY);
+        p.add_constraint([(x, 1.0)], Relation::Ge, -5.0);
+        let s = p.solve().unwrap();
+        assert_close(s.objective(), -5.0);
+        assert_close(s.value(x), -5.0);
+    }
+
+    #[test]
+    fn negative_rhs_le() {
+        // min x s.t. −x ≤ −3  (i.e. x ≥ 3)
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(1.0, 0.0, f64::INFINITY);
+        p.add_constraint([(x, -1.0)], Relation::Le, -3.0);
+        let s = p.solve().unwrap();
+        assert_close(s.objective(), 3.0);
+    }
+
+    #[test]
+    fn bound_flip_path() {
+        // max x + y s.t. x + y ≤ 10, 0 ≤ x ≤ 2, 0 ≤ y ≤ 3 → 5.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(1.0, 0.0, 2.0);
+        let y = p.add_var(1.0, 0.0, 3.0);
+        p.add_constraint([(x, 1.0), (y, 1.0)], Relation::Le, 10.0);
+        let s = p.solve().unwrap();
+        assert_close(s.objective(), 5.0);
+    }
+
+    #[test]
+    fn fixed_variables_respected() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(1.0, 1.5, 1.5);
+        let y = p.add_var(1.0, 0.0, f64::INFINITY);
+        p.add_constraint([(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+        let s = p.solve().unwrap();
+        assert_close(s.value(x), 1.5);
+        assert_close(s.objective(), 4.0);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Many redundant constraints through the same vertex.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(1.0, 0.0, f64::INFINITY);
+        let y = p.add_var(1.0, 0.0, f64::INFINITY);
+        for k in 1..=6 {
+            p.add_constraint([(x, 1.0), (y, k as f64)], Relation::Le, 1.0 + (k as f64 - 1.0));
+        }
+        p.add_constraint([(x, 1.0)], Relation::Le, 1.0);
+        p.add_constraint([(y, 1.0)], Relation::Le, 1.0);
+        let s = p.solve().unwrap();
+        assert!(s.objective() <= 2.0 + 1e-6);
+        assert_eq!(p.max_violation(s.values()).max(0.0) < 1e-6, true);
+    }
+
+    #[test]
+    fn transportation_problem() {
+        // 2 supplies (10, 15), 3 demands (8, 7, 10), min cost.
+        let cost = [[4.0, 6.0, 9.0], [5.0, 3.0, 8.0]];
+        let supply = [10.0, 15.0];
+        let demand = [8.0, 7.0, 10.0];
+        let mut p = Problem::new(Sense::Minimize);
+        let mut v = [[None; 3]; 2];
+        for i in 0..2 {
+            for j in 0..3 {
+                v[i][j] = Some(p.add_var(cost[i][j], 0.0, f64::INFINITY));
+            }
+        }
+        for i in 0..2 {
+            p.add_constraint((0..3).map(|j| (v[i][j].unwrap(), 1.0)), Relation::Le, supply[i]);
+        }
+        for j in 0..3 {
+            p.add_constraint((0..2).map(|i| (v[i][j].unwrap(), 1.0)), Relation::Ge, demand[j]);
+        }
+        let s = p.solve().unwrap();
+        // Optimal: x11=8, x13=2, x22=7, x23=8 → 32+18+21+64 = 135.
+        assert_close(s.objective(), 135.0);
+        assert!(p.max_violation(s.values()) < 1e-6);
+    }
+
+    #[test]
+    fn maximize_equals_negated_minimize() {
+        let build = |sense| {
+            let mut p = Problem::new(sense);
+            let x = p.add_var(if sense == Sense::Maximize { 2.0 } else { -2.0 }, 0.0, 5.0);
+            let y = p.add_var(if sense == Sense::Maximize { 1.0 } else { -1.0 }, 0.0, 5.0);
+            p.add_constraint([(x, 1.0), (y, 1.0)], Relation::Le, 6.0);
+            p
+        };
+        let smax = build(Sense::Maximize).solve().unwrap();
+        let smin = build(Sense::Minimize).solve().unwrap();
+        assert_close(smax.objective(), -smin.objective());
+    }
+
+    #[test]
+    fn empty_problem() {
+        let p = Problem::new(Sense::Minimize);
+        let s = p.solve().unwrap();
+        assert_eq!(s.objective(), 0.0);
+        assert!(s.values().is_empty());
+    }
+
+    #[test]
+    fn no_constraints_bounded_vars() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(7.0, -1.0, 2.0);
+        let s = p.solve().unwrap();
+        assert_close(s.value(x), 2.0);
+        assert_close(s.objective(), 14.0);
+    }
+
+    #[test]
+    fn iteration_limit_error() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(1.0, 0.0, f64::INFINITY);
+        let y = p.add_var(1.0, 0.0, f64::INFINITY);
+        p.add_constraint([(x, 1.0), (y, 1.0)], Relation::Le, 10.0);
+        let opts = SolveOptions {
+            max_iterations: 1,
+            ..SolveOptions::default()
+        };
+        // One pivot is not enough to reach optimality here.
+        match p.solve_with(&opts) {
+            Err(SolveError::IterationLimit) | Ok(_) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn beale_cycling_example_terminates() {
+        // Beale (1955): cycles forever under naive Dantzig pricing with
+        // exact arithmetic. The degenerate-streak → Bland fallback must
+        // terminate at the optimum −1/20.
+        let mut p = Problem::new(Sense::Minimize);
+        let x1 = p.add_var(-0.75, 0.0, f64::INFINITY);
+        let x2 = p.add_var(150.0, 0.0, f64::INFINITY);
+        let x3 = p.add_var(-0.02, 0.0, f64::INFINITY);
+        let x4 = p.add_var(6.0, 0.0, f64::INFINITY);
+        p.add_constraint(
+            [(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            Relation::Le,
+            0.0,
+        );
+        p.add_constraint(
+            [(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            Relation::Le,
+            0.0,
+        );
+        p.add_constraint([(x3, 1.0)], Relation::Le, 1.0);
+        let s = p.solve().unwrap();
+        assert_close(s.objective(), -0.05);
+    }
+
+    #[test]
+    fn klee_minty_terminates() {
+        // Klee–Minty cube (n = 6): exponential for worst-case pivot
+        // rules, but must finish well within the iteration budget.
+        let n = 6;
+        let mut p = Problem::new(Sense::Maximize);
+        let vars: Vec<_> = (0..n)
+            .map(|j| p.add_var(2f64.powi((n - 1 - j) as i32), 0.0, f64::INFINITY))
+            .collect();
+        for i in 0..n {
+            let mut terms: Vec<(crate::model::VarId, f64)> = Vec::new();
+            for j in 0..i {
+                terms.push((vars[j], 2f64.powi((i - j + 1) as i32)));
+            }
+            terms.push((vars[i], 1.0));
+            p.add_constraint(terms, Relation::Le, 5f64.powi(i as i32 + 1));
+        }
+        let s = p.solve().unwrap();
+        assert_close(s.objective(), 5f64.powi(n as i32));
+    }
+
+    #[test]
+    fn random_dense_lp_feasible_and_stable() {
+        // A moderately sized LP exercising the periodic refresh path.
+        let n = 30;
+        let mut p = Problem::new(Sense::Minimize);
+        let vars: Vec<_> = (0..n)
+            .map(|j| p.add_var(((j * 7) % 11) as f64 - 3.0, 0.0, 4.0))
+            .collect();
+        for i in 0..n {
+            let terms: Vec<_> = (0..n)
+                .filter(|j| (i + j) % 3 == 0)
+                .map(|j| (vars[j], 1.0 + ((i * j) % 5) as f64))
+                .collect();
+            if !terms.is_empty() {
+                p.add_constraint(terms, Relation::Ge, 2.0 + (i % 4) as f64);
+            }
+        }
+        let s = p.solve().unwrap();
+        assert!(p.max_violation(s.values()) < 1e-6);
+        let opts = SolveOptions {
+            refresh_every: 5,
+            ..SolveOptions::default()
+        };
+        let s2 = p.solve_with(&opts).unwrap();
+        assert_close(s.objective(), s2.objective());
+    }
+
+    #[test]
+    fn duals_of_textbook_max() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18.
+        // Known shadow prices: 0, 3/2, 1.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(3.0, 0.0, f64::INFINITY);
+        let y = p.add_var(5.0, 0.0, f64::INFINITY);
+        let r1 = p.add_constraint([(x, 1.0)], Relation::Le, 4.0);
+        let r2 = p.add_constraint([(y, 2.0)], Relation::Le, 12.0);
+        let r3 = p.add_constraint([(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        let s = p.solve().unwrap();
+        assert_close(s.dual(r1).unwrap(), 0.0);
+        assert_close(s.dual(r2).unwrap(), 1.5);
+        assert_close(s.dual(r3).unwrap(), 1.0);
+        assert_eq!(s.duals().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn duals_predict_rhs_perturbation() {
+        // Shadow price = marginal objective change for a small rhs bump.
+        let build = |rhs: f64| {
+            let mut p = Problem::new(Sense::Minimize);
+            let x = p.add_var(2.0, 0.0, f64::INFINITY);
+            let y = p.add_var(3.0, 0.0, f64::INFINITY);
+            let row = p.add_constraint([(x, 1.0), (y, 1.0)], Relation::Ge, rhs);
+            (p, row)
+        };
+        let (p, row) = build(10.0);
+        let s = p.solve().unwrap();
+        let dual = s.dual(row).unwrap();
+        let (p2, _) = build(10.5);
+        let s2 = p2.solve().unwrap();
+        assert_close(s2.objective() - s.objective(), dual * 0.5);
+    }
+
+    #[test]
+    fn warm_start_matches_cold_after_bound_tightening() {
+        // The branch-and-bound pattern: solve, tighten one variable's
+        // bound, re-solve from the old basis via the dual simplex.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(3.0, 0.0, f64::INFINITY);
+        let y = p.add_var(5.0, 0.0, f64::INFINITY);
+        p.add_constraint([(x, 1.0)], Relation::Le, 4.0);
+        p.add_constraint([(y, 2.0)], Relation::Le, 12.0);
+        p.add_constraint([(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        let opts = SolveOptions::default();
+        let (s0, basis) = p.solve_with_basis(&opts, None).unwrap();
+        assert_close(s0.objective(), 36.0); // (2, 6)
+
+        // Tighten y ≤ 4: the old optimum y = 6 violates it.
+        let mut q = p.clone();
+        q.set_bounds(y, 0.0, 4.0);
+        let (warm, _) = q.solve_with_basis(&opts, Some(&basis)).unwrap();
+        let cold = q.solve().unwrap();
+        assert_close(warm.objective(), cold.objective());
+        assert!(q.max_violation(warm.values()) < 1e-6);
+    }
+
+    #[test]
+    fn warm_start_chain_stays_correct() {
+        // Repeated tightenings, always reusing the previous basis.
+        let build = || {
+            let mut p = Problem::new(Sense::Minimize);
+            let vars: Vec<_> = (0..6).map(|i| p.add_var(1.0 + i as f64 * 0.5, 0.0, 10.0)).collect();
+            for i in 0..6 {
+                let j = (i + 1) % 6;
+                p.add_constraint([(vars[i], 1.0), (vars[j], 1.0)], Relation::Ge, 4.0);
+            }
+            (p, vars)
+        };
+        let (mut p, vars) = build();
+        let opts = SolveOptions::default();
+        let (_, mut basis) = p.solve_with_basis(&opts, None).unwrap();
+        for step in 0..4 {
+            let v = vars[step % vars.len()];
+            let (lo, up) = p.bounds(v);
+            p.set_bounds(v, (lo + 1.0).min(up), up);
+            let (warm, b) = p.solve_with_basis(&opts, Some(&basis)).unwrap();
+            basis = b;
+            let cold = p.solve().unwrap();
+            assert_close(warm.objective(), cold.objective());
+        }
+    }
+
+    #[test]
+    fn warm_start_detects_infeasibility() {
+        let mut p = Problem::new(Sense::Minimize);
+        let x = p.add_var(1.0, 0.0, 10.0);
+        p.add_constraint([(x, 1.0)], Relation::Ge, 4.0);
+        let opts = SolveOptions::default();
+        let (_, basis) = p.solve_with_basis(&opts, None).unwrap();
+        let mut q = p.clone();
+        q.set_bounds(x, 0.0, 2.0); // conflicts with x ≥ 4
+        assert_eq!(
+            q.solve_with_basis(&opts, Some(&basis)).unwrap_err(),
+            SolveError::Infeasible
+        );
+    }
+
+    #[test]
+    fn warm_start_with_garbage_basis_falls_back() {
+        // A basis from an unrelated problem must not corrupt the result.
+        let mut other = Problem::new(Sense::Minimize);
+        let a = other.add_var(1.0, 0.0, 1.0);
+        other.add_constraint([(a, 1.0)], Relation::Le, 1.0);
+        let opts = SolveOptions::default();
+        let (_, alien) = other.solve_with_basis(&opts, None).unwrap();
+
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(1.0, 0.0, 5.0);
+        let y = p.add_var(2.0, 0.0, 5.0);
+        p.add_constraint([(x, 1.0), (y, 1.0)], Relation::Le, 6.0);
+        let (sol, _) = p.solve_with_basis(&opts, Some(&alien)).unwrap();
+        assert_close(sol.objective(), 11.0); // y = 5, x = 1
+    }
+
+    #[test]
+    fn refresh_keeps_answers_stable() {
+        // Force frequent refreshes and compare against default options.
+        let build = || {
+            let mut p = Problem::new(Sense::Minimize);
+            let n = 12;
+            let vars: Vec<_> = (0..n)
+                .map(|i| p.add_var(1.0 + (i as f64) * 0.3, 0.0, 4.0))
+                .collect();
+            for i in 0..n {
+                let j = (i + 1) % n;
+                p.add_constraint([(vars[i], 1.0), (vars[j], 1.0)], Relation::Ge, 3.0);
+            }
+            p
+        };
+        let s_default = build().solve().unwrap();
+        let opts = SolveOptions {
+            refresh_every: 1,
+            ..SolveOptions::default()
+        };
+        let s_refresh = build().solve_with(&opts).unwrap();
+        assert_close(s_default.objective(), s_refresh.objective());
+    }
+}

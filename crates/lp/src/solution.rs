@@ -1,0 +1,77 @@
+//! Solver output types.
+
+use crate::model::{RowId, VarId};
+
+/// An optimal (or, for MILP with limits, best-found) solution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Solution {
+    objective: f64,
+    values: Vec<f64>,
+    duals: Option<Vec<f64>>,
+    iterations: usize,
+}
+
+impl Solution {
+    pub(crate) fn new(objective: f64, values: Vec<f64>, iterations: usize) -> Self {
+        Solution {
+            objective,
+            values,
+            duals: None,
+            iterations,
+        }
+    }
+
+    pub(crate) fn with_duals(mut self, duals: Vec<f64>) -> Self {
+        self.duals = Some(duals);
+        self
+    }
+
+    /// The dual value (shadow price) of one constraint: the marginal
+    /// change of the objective, in the problem's own sense, per unit
+    /// increase of that row's right-hand side.
+    ///
+    /// `None` for MILP solutions (duals are an LP concept).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` does not belong to the solved problem.
+    pub fn dual(&self, row: RowId) -> Option<f64> {
+        self.duals.as_ref().map(|d| d[row.index()])
+    }
+
+    /// All row duals (see [`Solution::dual`]); `None` for MILP solutions.
+    pub fn duals(&self) -> Option<&[f64]> {
+        self.duals.as_deref()
+    }
+
+    /// Objective value in the problem's own sense (already un-negated for
+    /// maximization problems).
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Value of one variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to the solved problem.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// All variable values, indexed by [`VarId::index`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of simplex pivots performed (summed over phases; for MILP,
+    /// over all nodes).
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Consumes the solution, returning the raw value vector.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+}

@@ -1,0 +1,163 @@
+//! Property tests for the simplex and branch-and-bound solvers.
+//!
+//! The generator builds LPs around a known feasible point `x0` (every
+//! constraint's right-hand side is derived from `x0` plus slack), so
+//! feasibility is guaranteed and `c·x0` is a certified bound on the
+//! optimum. That turns "is the solver right?" into checkable inequalities
+//! without needing an external reference solver.
+
+use proptest::prelude::*;
+
+use metis_lp::{solve_ilp, IlpOptions, Problem, Relation, Sense, SolveError};
+
+#[derive(Clone, Debug)]
+struct LpCase {
+    problem: Problem,
+    /// A certified feasible point.
+    x0: Vec<f64>,
+}
+
+fn arb_lp(integer: bool) -> impl Strategy<Value = LpCase> {
+    let n_vars = 2usize..6;
+    let n_rows = 1usize..6;
+    (n_vars, n_rows, any::<u64>()).prop_map(move |(n, m, seed)| {
+        // Simple deterministic pseudo-random stream from the seed.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0 // in [-1, 1)
+        };
+        let mut p = Problem::new(Sense::Minimize);
+        let mut x0 = Vec::with_capacity(n);
+        let mut vars = Vec::with_capacity(n);
+        for _ in 0..n {
+            let lo = (next() * 3.0).round();
+            let hi = lo + (next().abs() * 5.0).round() + 1.0;
+            let obj = (next() * 4.0 * 2.0).round() / 2.0;
+            let v = if integer {
+                p.add_int_var(obj, lo, hi)
+            } else {
+                p.add_var(obj, lo, hi)
+            };
+            vars.push(v);
+            // Feasible point at an integral spot inside the box.
+            let mid = ((lo + hi) / 2.0).round().clamp(lo, hi);
+            x0.push(mid);
+        }
+        for _ in 0..m {
+            let coeffs: Vec<f64> = (0..n).map(|_| (next() * 3.0).round()).collect();
+            let activity: f64 = coeffs.iter().zip(&x0).map(|(c, x)| c * x).sum();
+            let slack = next().abs() * 4.0;
+            // Alternate row senses; rhs always keeps x0 feasible.
+            let which = (next() * 3.0).abs() as u32;
+            match which {
+                0 => p.add_constraint(
+                    vars.iter().copied().zip(coeffs.iter().copied()),
+                    Relation::Le,
+                    activity + slack,
+                ),
+                1 => p.add_constraint(
+                    vars.iter().copied().zip(coeffs.iter().copied()),
+                    Relation::Ge,
+                    activity - slack,
+                ),
+                _ => p.add_constraint(
+                    vars.iter().copied().zip(coeffs.iter().copied()),
+                    Relation::Eq,
+                    activity,
+                ),
+            };
+        }
+        LpCase { problem: p, x0 }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lp_solution_is_feasible_and_not_worse_than_x0(case in arb_lp(false)) {
+        let sol = case.problem.solve().expect("x0 certifies feasibility");
+        prop_assert!(
+            case.problem.max_violation(sol.values()) < 1e-5,
+            "solution violates constraints by {}",
+            case.problem.max_violation(sol.values())
+        );
+        let obj_x0 = case.problem.eval_objective(&case.x0);
+        prop_assert!(
+            sol.objective() <= obj_x0 + 1e-6,
+            "optimum {} beats certified point {}",
+            sol.objective(),
+            obj_x0
+        );
+    }
+
+    #[test]
+    fn lp_optimum_invariant_under_resolve(case in arb_lp(false)) {
+        let a = case.problem.solve().unwrap();
+        let b = case.problem.solve().unwrap();
+        prop_assert!((a.objective() - b.objective()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ilp_bracketed_by_lp_and_x0(case in arb_lp(true)) {
+        let lp = case.problem.solve().expect("relaxation feasible");
+        let ilp = solve_ilp(&case.problem, &IlpOptions::default())
+            .expect("x0 is integral and feasible");
+        // LP relaxation ≤ ILP ≤ certified integral point (minimization).
+        prop_assert!(ilp.objective() >= lp.objective() - 1e-6);
+        let obj_x0 = case.problem.eval_objective(&case.x0);
+        prop_assert!(ilp.objective() <= obj_x0 + 1e-6);
+        // The incumbent really is integral.
+        for v in case.problem.integer_vars() {
+            let x = ilp.value(v);
+            prop_assert!((x - x.round()).abs() < 1e-6);
+        }
+        prop_assert!(case.problem.max_violation(ilp.solution().values()) < 1e-5);
+    }
+
+    #[test]
+    fn tightening_bounds_never_improves(case in arb_lp(false)) {
+        let base = case.problem.solve().unwrap();
+        // Pin the first variable to the certified point: the problem
+        // stays feasible (x0 satisfies it) and can only get worse.
+        let mut tightened = case.problem.clone();
+        tightened.add_constraint([(tightened.var(0), 1.0)], Relation::Eq, case.x0[0]);
+        let t = tightened.solve().expect("x0 still feasible");
+        prop_assert!(t.objective() >= base.objective() - 1e-6);
+    }
+
+    #[test]
+    fn warm_start_equals_cold_after_tightening(case in arb_lp(false)) {
+        let opts = metis_lp::SolveOptions::default();
+        let Ok((_, basis)) = case.problem.solve_with_basis(&opts, None) else {
+            return Ok(());
+        };
+        // Tighten the first variable toward the certified point.
+        let mut tightened = case.problem.clone();
+        let v = tightened.var(0);
+        let (lo, up) = tightened.bounds(v);
+        tightened.set_bounds(v, lo.max(case.x0[0] - 0.5), up.min(case.x0[0] + 0.5));
+        let warm = tightened.solve_with_basis(&opts, Some(&basis));
+        let cold = tightened.solve();
+        match (warm, cold) {
+            (Ok((w, _)), Ok(c)) => {
+                prop_assert!((w.objective() - c.objective()).abs() < 1e-6,
+                    "warm {} vs cold {}", w.objective(), c.objective());
+                prop_assert!(tightened.max_violation(w.values()) < 1e-5);
+            }
+            (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}
+            (w, c) => prop_assert!(false, "warm {w:?} vs cold {c:?}"),
+        }
+    }
+
+    #[test]
+    fn shrinking_a_box_to_infeasibility_is_detected(case in arb_lp(false)) {
+        // Force an empty region through contradictory rows on var 0.
+        let mut p = case.problem.clone();
+        let v = p.var(0);
+        p.add_constraint([(v, 1.0)], Relation::Ge, case.x0[0] + 1.0);
+        p.add_constraint([(v, 1.0)], Relation::Le, case.x0[0] - 1.0);
+        prop_assert_eq!(p.solve().unwrap_err(), SolveError::Infeasible);
+    }
+}

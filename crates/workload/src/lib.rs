@@ -1,0 +1,27 @@
+//! Synthetic bandwidth-reservation workloads for the Metis reproduction.
+//!
+//! Requests are the paper's six-tuples `{s, d, ts, td, r, v}`; the
+//! generator follows the evaluation setup of §V-A (Poisson arrivals over a
+//! 12-slot cycle, uniform 0.1–5 Gbps rates, route-priced bids) and is
+//! fully deterministic per seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use metis_netsim::topologies;
+//! use metis_workload::{generate, WorkloadConfig};
+//!
+//! let topo = topologies::b4();
+//! let requests = generate(&topo, &WorkloadConfig::paper(100, 1));
+//! let total_bid: f64 = requests.iter().map(|r| r.value).sum();
+//! assert!(total_bid > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generator;
+mod request;
+
+pub use generator::{generate, ValueModel, WorkloadConfig, DEFAULT_SLOTS};
+pub use request::{Request, RequestId};

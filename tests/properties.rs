@@ -1,0 +1,183 @@
+//! Property-based tests over randomly generated topologies and
+//! workloads: the invariants every scheduler must hold regardless of the
+//! input's shape.
+
+use proptest::prelude::*;
+
+use metis_suite::baselines::{amoeba, ecoflow, ecoflow_with, mincost, EcoflowCostModel};
+use metis_suite::core::{maa, metis, taa, MaaOptions, MetisConfig, SpmInstance, TaaOptions};
+use metis_suite::netsim::{Region, Topology};
+use metis_suite::workload::{generate, Request, RequestId, ValueModel, WorkloadConfig};
+
+/// A random strongly-connected topology: a ring over `n` nodes plus
+/// `extra` random chords, with prices drawn from the region table.
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    (3usize..8, 0usize..6, proptest::collection::vec(0u8..5, 0..6), any::<u64>()).prop_map(
+        |(n, extra, chord_seeds, salt)| {
+            let regions = [
+                Region::NorthAmerica,
+                Region::Europe,
+                Region::Asia,
+                Region::SouthAmerica,
+                Region::Oceania,
+            ];
+            let mut b = Topology::builder();
+            let ids: Vec<_> = (0..n)
+                .map(|i| {
+                    b.add_node(
+                        format!("DC{}", i + 1),
+                        regions[(i + salt as usize) % regions.len()],
+                    )
+                })
+                .collect();
+            for i in 0..n {
+                b.add_regional_link(ids[i], ids[(i + 1) % n], 1.0);
+            }
+            for (k, &cs) in chord_seeds.iter().take(extra).enumerate() {
+                let a = (cs as usize + k) % n;
+                let c = (cs as usize + k + 2) % n;
+                if a != c {
+                    // Duplicate links are fine: they are parallel edges.
+                    b.add_regional_link(ids[a], ids[c], 1.0);
+                }
+            }
+            b.build()
+        },
+    )
+}
+
+fn arb_instance() -> impl Strategy<Value = SpmInstance> {
+    (arb_topology(), 1usize..40, any::<u64>(), 2usize..4).prop_map(|(topo, k, seed, paths)| {
+        let cfg = WorkloadConfig {
+            num_requests: k,
+            num_slots: 12,
+            rate_gbps: (0.1, 5.0),
+            value_model: ValueModel::default(),
+            seed,
+        };
+        let requests = generate(&topo, &cfg);
+        SpmInstance::new(topo, requests, 12, paths)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn evaluation_identity_and_coverage(inst in arb_instance()) {
+        let s = mincost(&inst);
+        let ev = s.evaluate(&inst);
+        prop_assert!((ev.profit - (ev.revenue - ev.cost)).abs() < 1e-9);
+        prop_assert_eq!(ev.accepted, inst.num_requests());
+        // Charged units always cover the peak.
+        for e in inst.topology().edge_ids() {
+            prop_assert!(ev.charged[e.index()] + 1e-9 >= ev.load.peak(e));
+        }
+    }
+
+    #[test]
+    fn maa_serves_everyone_and_respects_lp_bound(inst in arb_instance()) {
+        let accepted = vec![true; inst.num_requests()];
+        let m = maa(&inst, &accepted, &MaaOptions::default()).unwrap();
+        prop_assert_eq!(m.schedule.num_accepted(), inst.num_requests());
+        prop_assert!(m.evaluation.cost >= m.relaxation.cost - 1e-6);
+    }
+
+    #[test]
+    fn taa_feasible_under_arbitrary_capacity(
+        inst in arb_instance(),
+        cap in prop_oneof![Just(0.0), 1.0f64..20.0],
+    ) {
+        let caps = vec![cap; inst.topology().num_edges()];
+        let t = taa(&inst, &caps, &TaaOptions::default()).unwrap();
+        prop_assert!(t.schedule.check_capacities(&inst, &caps).is_ok());
+        prop_assert!(t.evaluation.revenue <= t.relaxation.revenue + 1e-6);
+        if cap == 0.0 {
+            prop_assert_eq!(t.schedule.num_accepted(), 0);
+        }
+    }
+
+    #[test]
+    fn amoeba_never_overloads(inst in arb_instance(), cap in 1.0f64..10.0) {
+        let caps = vec![cap; inst.topology().num_edges()];
+        let s = amoeba(&inst, &caps);
+        prop_assert!(s.check_capacities(&inst, &caps).is_ok());
+    }
+
+    #[test]
+    fn ecoflow_unit_charge_profit_nonnegative(inst in arb_instance()) {
+        let ev = ecoflow_with(&inst, EcoflowCostModel::UnitCharge).evaluate(&inst);
+        prop_assert!(ev.profit >= -1e-9);
+    }
+
+    #[test]
+    fn ecoflow_models_are_deterministic_and_valid(inst in arb_instance()) {
+        // The two cost models may route (and hence admit) differently —
+        // neither dominates in acceptance count — but both must be
+        // deterministic and produce consistent evaluations.
+        for model in [EcoflowCostModel::Proportional, EcoflowCostModel::UnitCharge] {
+            let a = ecoflow_with(&inst, model);
+            let b = ecoflow_with(&inst, model);
+            prop_assert_eq!(&a, &b);
+            let ev = a.evaluate(&inst);
+            prop_assert!((ev.profit - (ev.revenue - ev.cost)).abs() < 1e-9);
+        }
+        prop_assert_eq!(ecoflow(&inst), ecoflow_with(&inst, EcoflowCostModel::Proportional));
+    }
+
+    #[test]
+    fn metis_profit_nonnegative_and_recorded(inst in arb_instance()) {
+        let m = metis(&inst, &MetisConfig::with_theta(3)).unwrap();
+        prop_assert!(m.evaluation.profit >= 0.0);
+        // The recorded best dominates every history entry.
+        for rec in &m.history {
+            prop_assert!(m.evaluation.profit >= rec.profit - 1e-9);
+        }
+    }
+
+    #[test]
+    fn schedule_load_is_additive(inst in arb_instance()) {
+        // Load of a schedule equals the sum of per-request loads.
+        let s = mincost(&inst);
+        let combined = s.load(&inst);
+        let mut total = 0.0;
+        for r in inst.requests() {
+            let j = s.path_choice(r.id).unwrap();
+            let path = &inst.paths(r.id)[j];
+            total += r.rate * path.edges().len() as f64 * r.duration() as f64;
+        }
+        let sum_cells: f64 = inst
+            .topology()
+            .edge_ids()
+            .map(|e| (0..inst.num_slots()).map(|t| combined.get(e, t)).sum::<f64>())
+            .sum();
+        prop_assert!((sum_cells - total).abs() < 1e-6);
+    }
+}
+
+/// Hand-built adversarial case: a request whose two candidate paths share
+/// one edge; whatever is chosen, accounting must stay consistent.
+#[test]
+fn shared_edge_paths_account_once() {
+    let mut b = Topology::builder();
+    let n0 = b.add_node("a", Region::Europe);
+    let n1 = b.add_node("b", Region::Europe);
+    let n2 = b.add_node("c", Region::Europe);
+    b.add_link(n0, n1, 1.0);
+    b.add_link(n1, n2, 1.0);
+    b.add_link(n0, n2, 5.0);
+    let topo = b.build();
+    let r = Request {
+        id: RequestId(0),
+        src: n0,
+        dst: n2,
+        start: 0,
+        end: 3,
+        rate: 0.4,
+        value: 10.0,
+    };
+    let inst = SpmInstance::new(topo, vec![r], 12, 3);
+    let m = maa(&inst, &[true], &MaaOptions::default()).unwrap();
+    // Cheapest route a→b→c costs 2 (one unit per link).
+    assert!((m.evaluation.cost - 2.0).abs() < 1e-9);
+}
