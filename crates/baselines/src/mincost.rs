@@ -55,7 +55,9 @@ pub fn mincost_exclusive_evaluation(instance: &SpmInstance) -> Evaluation {
     let mut load = LoadMatrix::new(topo.num_edges(), slots);
     for i in 0..instance.num_requests() {
         let id = RequestId(i as u32);
-        let j = schedule.path_choice(id).expect("mincost accepts everything");
+        let j = schedule
+            .path_choice(id)
+            .expect("mincost accepts everything");
         let r = instance.request(id);
         for &e in instance.paths(id)[j].edges() {
             load.add(e, 0, last, r.rate);

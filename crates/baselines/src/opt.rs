@@ -185,13 +185,8 @@ pub fn opt_spm_with_start(
     start: &Schedule,
 ) -> Result<OptOutcome, SolveError> {
     let values: Vec<f64> = instance.requests().iter().map(|r| r.value).collect();
-    let (p, xvars, cvars) = build_problem(
-        instance,
-        Sense::Maximize,
-        Relation::Le,
-        |i| values[i],
-        -1.0,
-    );
+    let (p, xvars, cvars) =
+        build_problem(instance, Sense::Maximize, Relation::Le, |i| values[i], -1.0);
     let start = encode_start(instance, start, &xvars, &cvars, p.num_vars());
     let sol = solve_ilp_with_start(&p, options, Some(&start))?;
     let schedule = extract_schedule(instance, &xvars, |v| sol.value(v));

@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use metis_core::{maa, MaaOptions, SpmInstance};
+use metis_core::{maa, MaaOptions, ParallelConfig, SpmInstance};
 use metis_netsim::topologies;
 use metis_workload::{generate, WorkloadConfig};
 
@@ -43,5 +43,36 @@ fn bench_maa_repeats(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_maa_scaling, bench_maa_repeats);
+fn bench_maa_parallel_trials(c: &mut Criterion) {
+    // Serial vs parallel multi-trial rounding. The trial results are
+    // reduced in index order, so every thread count computes the same
+    // schedule bit-for-bit — only the wall clock changes. On a ≥4-core
+    // runner the 4-thread row should run well under half the 1-thread
+    // row; on a 1-core container the rows simply coincide.
+    let mut g = c.benchmark_group("maa/parallel_trials_k200_repeats16");
+    g.sample_size(10);
+    let inst = instance(200);
+    let accepted = vec![true; 200];
+    for threads in [1usize, 2, 4] {
+        let opts = MaaOptions {
+            rounding_repeats: 16,
+            parallel: ParallelConfig {
+                threads,
+                ..ParallelConfig::default()
+            },
+            ..MaaOptions::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &opts, |b, opts| {
+            b.iter(|| maa(&inst, &accepted, opts).expect("maa"));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_maa_scaling,
+    bench_maa_repeats,
+    bench_maa_parallel_trials
+);
 criterion_main!(benches);

@@ -3,7 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use metis_core::{metis, LimiterRule, MetisConfig, SpmInstance};
+use metis_core::{
+    metis, solve_rlspm_relaxation, LimiterRule, MetisConfig, RlspmWarmSolver, SpmInstance,
+};
+use metis_lp::SolveOptions;
 use metis_netsim::topologies;
 use metis_workload::{generate, WorkloadConfig};
 
@@ -62,10 +65,66 @@ fn bench_limiter_rules(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_metis_warm_start(c: &mut Criterion) {
+    // End-to-end alternation, cold LPs vs basis-reused warm LPs. Warm
+    // runs may land on different (equally optimal) vertices, so this is
+    // a throughput comparison, not a bit-identity check.
+    let mut g = c.benchmark_group("metis/warm_start_k100_b4");
+    g.sample_size(10);
+    let inst = instance(100, false);
+    for (name, warm_start) in [("cold", false), ("warm", true)] {
+        let config = MetisConfig {
+            warm_start,
+            ..MetisConfig::with_theta(8)
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(name), &config, |b, config| {
+            b.iter(|| metis(&inst, config).expect("metis"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_rlspm_resolve_cold_vs_warm(c: &mut Criterion) {
+    // Isolates the LP re-solve cost across a sequence of acceptance
+    // masks like the ones the alternation produces: cold rebuilds and
+    // factors the LP from scratch for every mask, warm reuses the
+    // fixed-structure problem and the previous optimal basis.
+    let mut g = c.benchmark_group("metis/rlspm_resolve_8masks_k100_b4");
+    g.sample_size(10);
+    let inst = instance(100, false);
+    let k = 100usize;
+    let masks: Vec<Vec<bool>> = (0..8usize)
+        .map(|round| {
+            (0..k)
+                .map(|i| !(round > 0 && i % (round + 3) == 0))
+                .collect()
+        })
+        .collect();
+    let lp = SolveOptions::default();
+    g.bench_function("cold", |b| {
+        b.iter(|| {
+            for mask in &masks {
+                solve_rlspm_relaxation(&inst, mask, &lp).expect("rlspm");
+            }
+        });
+    });
+    g.bench_function("warm", |b| {
+        b.iter(|| {
+            let mut solver = RlspmWarmSolver::new(&inst);
+            for mask in &masks {
+                solver.solve(mask, &lp).expect("rlspm");
+            }
+        });
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_metis_theta,
     bench_metis_sub_b4_k400,
-    bench_limiter_rules
+    bench_limiter_rules,
+    bench_metis_warm_start,
+    bench_rlspm_resolve_cold_vs_warm
 );
 criterion_main!(benches);

@@ -57,8 +57,7 @@ fn bench_rlspm_relaxation(c: &mut Criterion) {
         let accepted = vec![true; k];
         g.bench_with_input(BenchmarkId::from_parameter(k), &instance, |b, inst| {
             b.iter(|| {
-                solve_rlspm_relaxation(inst, &accepted, &SolveOptions::default())
-                    .expect("feasible")
+                solve_rlspm_relaxation(inst, &accepted, &SolveOptions::default()).expect("feasible")
             });
         });
     }

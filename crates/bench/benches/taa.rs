@@ -30,13 +30,9 @@ fn bench_taa_capacity(c: &mut Criterion) {
     let instance = SpmInstance::new(topo, requests, 12, 3);
     for cap in [1.0f64, 5.0, 10.0, 50.0] {
         let caps = vec![cap; instance.topology().num_edges()];
-        g.bench_with_input(
-            BenchmarkId::from_parameter(cap as u64),
-            &caps,
-            |b, caps| {
-                b.iter(|| taa(&instance, caps, &TaaOptions::default()).expect("taa"));
-            },
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(cap as u64), &caps, |b, caps| {
+            b.iter(|| taa(&instance, caps, &TaaOptions::default()).expect("taa"));
+        });
     }
     g.finish();
 }

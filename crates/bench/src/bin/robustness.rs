@@ -13,7 +13,11 @@ fn main() {
     } else {
         RobustnessOptions::default()
     };
-    eprintln!("robustness: K = {}, {} seeds", options.k, options.seeds.len());
+    eprintln!(
+        "robustness: K = {}, {} seeds",
+        options.k,
+        options.seeds.len()
+    );
     let table = run(&options);
     println!("{}", table.render());
     table

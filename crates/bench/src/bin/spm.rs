@@ -8,23 +8,19 @@
 //!     --network b4 --requests 200 --seed 7 --theta 8 --compare --json
 //! ```
 
-use serde::{Deserialize, Serialize};
-
 use metis_baselines::{ecoflow, mincost, opt_spm_with_start};
+use metis_bench::json::{obj, Json};
 use metis_core::{maa, metis, MaaOptions, MetisConfig, SpmInstance};
 use metis_lp::IlpOptions;
 use metis_netsim::topologies;
-use metis_workload::{generate, RequestId, WorkloadConfig};
+use metis_workload::{generate, RequestId, ValueModel, WorkloadConfig};
 
 /// Everything a run needs, loadable from a JSON scenario file.
-#[derive(Debug, Clone, Deserialize)]
-#[serde(deny_unknown_fields)]
+#[derive(Debug, Clone)]
 struct Scenario {
     network: NetworkSpec,
     workload: WorkloadConfig,
-    #[serde(default = "default_theta")]
     theta: usize,
-    #[serde(default = "default_paths")]
     paths: usize,
 }
 
@@ -35,14 +31,117 @@ fn default_paths() -> usize {
     3
 }
 
-#[derive(Debug, Clone, Deserialize)]
-#[serde(rename_all = "kebab-case")]
+impl Scenario {
+    /// Parses a scenario document, rejecting unknown fields so typos in
+    /// scenario files fail loudly rather than falling back to defaults.
+    fn from_json(v: &Json) -> Result<Scenario, String> {
+        let fields = v.as_obj().ok_or("scenario must be a JSON object")?;
+        let mut network = None;
+        let mut workload = None;
+        let mut theta = default_theta();
+        let mut paths = default_paths();
+        for (key, value) in fields {
+            match key.as_str() {
+                "network" => network = Some(NetworkSpec::from_json(value)?),
+                "workload" => workload = Some(workload_from_json(value)?),
+                "theta" => {
+                    theta = value
+                        .as_usize()
+                        .ok_or("theta must be a non-negative integer")?
+                }
+                "paths" => {
+                    paths = value
+                        .as_usize()
+                        .ok_or("paths must be a non-negative integer")?
+                }
+                other => return Err(format!("unknown scenario field `{other}`")),
+            }
+        }
+        Ok(Scenario {
+            network: network.ok_or("scenario is missing `network`")?,
+            workload: workload.ok_or("scenario is missing `workload`")?,
+            theta,
+            paths,
+        })
+    }
+}
+
+fn workload_from_json(v: &Json) -> Result<WorkloadConfig, String> {
+    let fields = v.as_obj().ok_or("workload must be a JSON object")?;
+    let mut cfg = WorkloadConfig::default();
+    let (mut saw_requests, mut saw_seed) = (false, false);
+    for (key, value) in fields {
+        match key.as_str() {
+            "num_requests" => {
+                cfg.num_requests = value.as_usize().ok_or("num_requests must be an integer")?;
+                saw_requests = true;
+            }
+            "num_slots" => {
+                cfg.num_slots = value.as_usize().ok_or("num_slots must be an integer")?
+            }
+            "rate_gbps" => {
+                let pair = value.as_arr().ok_or("rate_gbps must be [low, high]")?;
+                let [lo, hi] = pair else {
+                    return Err("rate_gbps must have exactly two entries".into());
+                };
+                cfg.rate_gbps = (
+                    lo.as_f64().ok_or("rate_gbps entries must be numbers")?,
+                    hi.as_f64().ok_or("rate_gbps entries must be numbers")?,
+                );
+            }
+            "value_model" => cfg.value_model = value_model_from_json(value)?,
+            "seed" => {
+                cfg.seed = value
+                    .as_u64()
+                    .ok_or("seed must be a non-negative integer")?;
+                saw_seed = true;
+            }
+            other => return Err(format!("unknown workload field `{other}`")),
+        }
+    }
+    if !saw_requests || !saw_seed {
+        return Err("workload needs at least `num_requests` and `seed`".into());
+    }
+    Ok(cfg)
+}
+
+fn value_model_from_json(v: &Json) -> Result<ValueModel, String> {
+    let fields = v.as_obj().ok_or("value_model must be a JSON object")?;
+    let [(tag, body)] = fields else {
+        return Err("value_model must have exactly one variant key".into());
+    };
+    match tag.as_str() {
+        "PricedPath" => Ok(ValueModel::PricedPath {
+            low: body
+                .get("low")
+                .and_then(Json::as_f64)
+                .ok_or("PricedPath needs a numeric `low`")?,
+            high: body
+                .get("high")
+                .and_then(Json::as_f64)
+                .ok_or("PricedPath needs a numeric `high`")?,
+        }),
+        "Flat" => Ok(ValueModel::Flat {
+            per_unit_slot: body
+                .get("per_unit_slot")
+                .and_then(Json::as_f64)
+                .ok_or("Flat needs a numeric `per_unit_slot`")?,
+        }),
+        other => Err(format!("unknown value_model `{other}`")),
+    }
+}
+
+#[derive(Debug, Clone)]
 enum NetworkSpec {
     B4,
     SubB4,
     Abilene,
     Geant,
-    Random { nodes: u32, extra_links: usize, seed: u64 },
+    Random {
+        nodes: u32,
+        extra_links: usize,
+        seed: u64,
+    },
 }
 
 impl NetworkSpec {
@@ -52,10 +151,38 @@ impl NetworkSpec {
             NetworkSpec::SubB4 => topologies::sub_b4(),
             NetworkSpec::Abilene => topologies::abilene(),
             NetworkSpec::Geant => topologies::geant(),
-            NetworkSpec::Random { nodes, extra_links, seed } => {
-                topologies::random_wan(*nodes, *extra_links, *seed)
-            }
+            NetworkSpec::Random {
+                nodes,
+                extra_links,
+                seed,
+            } => topologies::random_wan(*nodes, *extra_links, *seed),
         }
+    }
+
+    /// Parses the scenario-file form: either a bare topology name
+    /// (`"b4"`) or `{"random": {"nodes": …, "extra_links": …, "seed": …}}`.
+    fn from_json(v: &Json) -> Result<NetworkSpec, String> {
+        if let Some(name) = v.as_str() {
+            return NetworkSpec::parse(name)
+                .ok_or_else(|| format!("unknown network name `{name}`"));
+        }
+        let fields = v.as_obj().ok_or("network must be a name or an object")?;
+        let [(tag, body)] = fields else {
+            return Err("network object must have exactly one variant key".into());
+        };
+        if tag != "random" {
+            return Err(format!("unknown network variant `{tag}`"));
+        }
+        let field = |name: &str| {
+            body.get(name)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("random network needs an integer `{name}`"))
+        };
+        Ok(NetworkSpec::Random {
+            nodes: field("nodes")? as u32,
+            extra_links: field("extra_links")? as usize,
+            seed: field("seed")?,
+        })
     }
 
     fn parse(name: &str) -> Option<NetworkSpec> {
@@ -74,7 +201,11 @@ impl NetworkSpec {
             NetworkSpec::SubB4 => "sub-b4".into(),
             NetworkSpec::Abilene => "abilene".into(),
             NetworkSpec::Geant => "geant".into(),
-            NetworkSpec::Random { nodes, extra_links, seed } => {
+            NetworkSpec::Random {
+                nodes,
+                extra_links,
+                seed,
+            } => {
                 format!("random({nodes},{extra_links},{seed})")
             }
         }
@@ -166,7 +297,6 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-#[derive(Serialize)]
 struct DecisionOut {
     request: u32,
     src: String,
@@ -179,7 +309,28 @@ struct DecisionOut {
     route: Option<Vec<String>>,
 }
 
-#[derive(Serialize)]
+impl DecisionOut {
+    fn to_json(&self) -> Json {
+        obj([
+            ("request", self.request.into()),
+            ("src", self.src.as_str().into()),
+            ("dst", self.dst.as_str().into()),
+            ("start", self.start.into()),
+            ("end", self.end.into()),
+            ("rate_units", self.rate_units.into()),
+            ("bid", self.bid.into()),
+            ("accepted", self.accepted.into()),
+            (
+                "route",
+                match &self.route {
+                    Some(nodes) => Json::Arr(nodes.iter().map(|n| n.as_str().into()).collect()),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+}
+
 struct SolverOut {
     name: String,
     profit: f64,
@@ -188,7 +339,18 @@ struct SolverOut {
     accepted: usize,
 }
 
-#[derive(Serialize)]
+impl SolverOut {
+    fn to_json(&self) -> Json {
+        obj([
+            ("name", self.name.as_str().into()),
+            ("profit", self.profit.into()),
+            ("revenue", self.revenue.into()),
+            ("cost", self.cost.into()),
+            ("accepted", self.accepted.into()),
+        ])
+    }
+}
+
 struct Output {
     network: String,
     requests: usize,
@@ -197,6 +359,26 @@ struct Output {
     metis: SolverOut,
     comparisons: Vec<SolverOut>,
     decisions: Vec<DecisionOut>,
+}
+
+impl Output {
+    fn to_json(&self) -> Json {
+        obj([
+            ("network", self.network.as_str().into()),
+            ("requests", self.requests.into()),
+            ("seed", self.seed.into()),
+            ("theta", self.theta.into()),
+            ("metis", self.metis.to_json()),
+            (
+                "comparisons",
+                Json::Arr(self.comparisons.iter().map(SolverOut::to_json).collect()),
+            ),
+            (
+                "decisions",
+                Json::Arr(self.decisions.iter().map(DecisionOut::to_json).collect()),
+            ),
+        ])
+    }
 }
 
 fn main() {
@@ -213,10 +395,12 @@ fn main() {
                 eprintln!("cannot read scenario {path}: {e}");
                 std::process::exit(2);
             });
-            serde_json::from_str::<Scenario>(&text).unwrap_or_else(|e| {
-                eprintln!("invalid scenario {path}: {e}");
-                std::process::exit(2);
-            })
+            Json::parse(&text)
+                .and_then(|v| Scenario::from_json(&v))
+                .unwrap_or_else(|e| {
+                    eprintln!("invalid scenario {path}: {e}");
+                    std::process::exit(2);
+                })
         }
         None => {
             let network = NetworkSpec::parse(&args.network).unwrap_or_else(|| {
@@ -257,8 +441,14 @@ fn main() {
         if let Ok(m) = maa(&instance, &all, &MaaOptions::default()) {
             comparisons.push(solver_out("serve-all (MAA)", &m.evaluation));
         }
-        comparisons.push(solver_out("mincost", &mincost(&instance).evaluate(&instance)));
-        comparisons.push(solver_out("ecoflow", &ecoflow(&instance).evaluate(&instance)));
+        comparisons.push(solver_out(
+            "mincost",
+            &mincost(&instance).evaluate(&instance),
+        ));
+        comparisons.push(solver_out(
+            "ecoflow",
+            &ecoflow(&instance).evaluate(&instance),
+        ));
         if let Some(secs) = args.opt_seconds {
             let ilp = IlpOptions {
                 time_limit: Some(std::time::Duration::from_secs(secs)),
@@ -314,7 +504,7 @@ fn main() {
     };
 
     if args.json {
-        println!("{}", serde_json::to_string_pretty(&out).expect("serialize"));
+        println!("{}", out.to_json().to_pretty());
     } else {
         println!(
             "{} | K={} seed={} θ={}",
@@ -335,8 +525,11 @@ fn main() {
     }
     if args.analyze {
         let analysis = metis_core::analyze(&instance, &result.schedule);
-        println!("
+        println!(
+            "
 # schedule analysis
-{}", analysis.render_text(5));
+{}",
+            analysis.render_text(5)
+        );
     }
 }

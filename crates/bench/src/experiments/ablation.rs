@@ -102,12 +102,7 @@ pub fn path_count_sweep(options: &AblationOptions) -> Table {
         });
         let cost = mean(&rows.iter().map(|r| r.0).collect::<Vec<_>>());
         let lp = mean(&rows.iter().map(|r| r.1).collect::<Vec<_>>());
-        table.push_row(vec![
-            paths.to_string(),
-            f2(cost),
-            f2(lp),
-            f3(cost / lp),
-        ]);
+        table.push_row(vec![paths.to_string(), f2(cost), f2(lp), f3(cost / lp)]);
     }
     table
 }

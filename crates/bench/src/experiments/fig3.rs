@@ -122,8 +122,16 @@ pub fn run(options: &Fig3Options) -> Fig3Output {
             f2(g(&|p| p.opt_bound)),
             f2(metis_p),
             f2(rl_p),
-            f2(if opt_p.abs() > 1e-12 { metis_p / opt_p } else { 1.0 }),
-            f2(if rl_p.abs() > 1e-12 { metis_p / rl_p } else { f64::NAN }),
+            f2(if opt_p.abs() > 1e-12 {
+                metis_p / opt_p
+            } else {
+                1.0
+            }),
+            f2(if rl_p.abs() > 1e-12 {
+                metis_p / rl_p
+            } else {
+                f64::NAN
+            }),
         ]);
         accepted.push_row(vec![
             k.to_string(),

@@ -139,7 +139,8 @@ pub fn run_rounding(options: &Fig4Options) -> Table {
         ),
         &["network", "seed", "min", "mean", "p95", "max", "optimal?"],
     );
-    let nets: Vec<(&str, Topology)> = vec![("SUB-B4", topologies::sub_b4()), ("B4", topologies::b4())];
+    let nets: Vec<(&str, Topology)> =
+        vec![("SUB-B4", topologies::sub_b4()), ("B4", topologies::b4())];
     for (name, topo) in nets {
         for &seed in &options.seeds {
             let requests = generate(&topo, &WorkloadConfig::paper(options.rounding_k, seed));
@@ -151,18 +152,13 @@ pub fn run_rounding(options: &Fig4Options) -> Table {
             let denom = opt.evaluation.cost.max(1e-12);
 
             // Numerators: independent roundings of the shared relaxation.
-            let relaxation =
-                solve_rlspm_relaxation(&instance, &accepted, &SolveOptions::default())
-                    .expect("relaxation");
+            let relaxation = solve_rlspm_relaxation(&instance, &accepted, &SolveOptions::default())
+                .expect("relaxation");
             let mut rng = ChaCha12Rng::seed_from_u64(seed);
             let mut ratios: Vec<f64> = (0..options.rounding_repeats)
                 .map(|_| {
-                    let schedule = metis_core::round_schedule(
-                        &instance,
-                        &accepted,
-                        &relaxation.x,
-                        &mut rng,
-                    );
+                    let schedule =
+                        metis_core::round_schedule(&instance, &accepted, &relaxation.x, &mut rng);
                     schedule.load(&instance).total_cost(instance.topology()) / denom
                 })
                 .collect();
@@ -190,9 +186,8 @@ pub fn run_rounding(options: &Fig4Options) -> Table {
             let requests = generate(&topo, &WorkloadConfig::paper(k, seed));
             let instance = SpmInstance::new(topo, requests, 12, 3);
             let accepted = vec![true; k];
-            let relaxation =
-                solve_rlspm_relaxation(&instance, &accepted, &SolveOptions::default())
-                    .expect("relaxation");
+            let relaxation = solve_rlspm_relaxation(&instance, &accepted, &SolveOptions::default())
+                .expect("relaxation");
             let denom = relaxation.cost.max(1e-12);
             let mut rng = ChaCha12Rng::seed_from_u64(seed);
             let reps = options.rounding_repeats.min(200);
@@ -257,12 +252,7 @@ pub fn run_revenue(options: &Fig4Options) -> (Table, Table) {
             f3(t_rev / a_rev),
             f2(lp),
         ]);
-        accepted.push_row(vec![
-            k.to_string(),
-            f2(t_acc),
-            f2(a_acc),
-            f3(t_acc / a_acc),
-        ]);
+        accepted.push_row(vec![k.to_string(), f2(t_acc), f2(a_acc), f3(t_acc / a_acc)]);
     }
     (revenue, accepted)
 }
@@ -288,8 +278,14 @@ mod tests {
         let t = run_cost(&tiny());
         let win_ratio: f64 = t.rows[0][5].parse().unwrap();
         let cyc_ratio: f64 = t.rows[0][6].parse().unwrap();
-        assert!(win_ratio >= 0.95, "windowed MinCost ≈≥ MAA, got {win_ratio}");
-        assert!(cyc_ratio >= win_ratio, "cycle reading costs at least windowed");
+        assert!(
+            win_ratio >= 0.95,
+            "windowed MinCost ≈≥ MAA, got {win_ratio}"
+        );
+        assert!(
+            cyc_ratio >= win_ratio,
+            "cycle reading costs at least windowed"
+        );
     }
 
     #[test]

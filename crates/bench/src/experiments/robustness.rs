@@ -45,6 +45,10 @@ fn networks() -> Vec<(String, Topology)> {
     ]
 }
 
+/// One per-seed measurement row: (metis profit, serve-all profit,
+/// ecoflow profit, metis accepted).
+type SeedRow = (f64, f64, f64, f64);
+
 /// Runs the sweep; one row per network.
 pub fn run(options: &RobustnessOptions) -> Table {
     let mut table = Table::new(
@@ -70,12 +74,7 @@ pub fn run(options: &RobustnessOptions) -> Table {
                 &metis_netsim::PathCatalog::build(&topo, 3, metis_netsim::PathMetric::Price),
             );
             let m = metis(&instance, &MetisConfig::with_theta(options.theta)).expect("metis");
-            let all = maa(
-                &instance,
-                &vec![true; options.k],
-                &MaaOptions::default(),
-            )
-            .expect("maa");
+            let all = maa(&instance, &vec![true; options.k], &MaaOptions::default()).expect("maa");
             let eco = ecoflow(&instance).evaluate(&instance);
             (
                 m.evaluation.profit,
@@ -84,9 +83,7 @@ pub fn run(options: &RobustnessOptions) -> Table {
                 m.evaluation.accepted as f64,
             )
         });
-        let col = |f: &dyn Fn(&(f64, f64, f64, f64)) -> f64| {
-            mean(&rows.iter().map(f).collect::<Vec<_>>())
-        };
+        let col = |f: &dyn Fn(&SeedRow) -> f64| mean(&rows.iter().map(f).collect::<Vec<_>>());
         table.push_row(vec![
             name,
             f2(col(&|r| r.0)),

@@ -1,6 +1,7 @@
 //! Parallel seed sweeps: every figure averages several workload seeds.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Runs `f(seed)` for every seed, in parallel across available cores,
 /// returning results in seed order.
@@ -21,26 +22,26 @@ where
         return seeds.iter().map(|&s| f(s)).collect();
     }
     let next = AtomicUsize::new(0);
-    let mut slots: Vec<Option<R>> = (0..seeds.len()).map(|_| None).collect();
-    let slot_refs: Vec<parking_lot::Mutex<&mut Option<R>>> =
-        slots.iter_mut().map(parking_lot::Mutex::new).collect();
-    crossbeam::scope(|scope| {
+    let slots: Vec<Mutex<Option<R>>> = seeds.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= seeds.len() {
                     break;
                 }
                 let r = f(seeds[i]);
-                **slot_refs[i].lock() = Some(r);
+                *slots[i].lock().expect("slot lock poisoned") = Some(r);
             });
         }
-    })
-    .expect("seed sweep worker panicked");
-    drop(slot_refs);
+    });
     slots
         .into_iter()
-        .map(|s| s.expect("every seed produced a result"))
+        .map(|m| {
+            m.into_inner()
+                .expect("slot lock poisoned")
+                .expect("every seed produced a result")
+        })
         .collect()
 }
 

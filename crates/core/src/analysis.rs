@@ -95,8 +95,7 @@ pub fn analyze(instance: &SpmInstance, schedule: &Schedule) -> ScheduleAnalysis 
     // Time-integrated load share per (edge, request).
     let mut edge_total: Vec<f64> = vec![0.0; topo.num_edges()];
     let mut edge_users: Vec<usize> = vec![0; topo.num_edges()];
-    let mut per_request_usage: Vec<Vec<(usize, f64)>> =
-        vec![Vec::new(); instance.num_requests()];
+    let mut per_request_usage: Vec<Vec<(usize, f64)>> = vec![Vec::new(); instance.num_requests()];
     for (i, r) in instance.requests().iter().enumerate() {
         if let Some(j) = schedule.path_choice(r.id) {
             let weight = r.rate * r.duration() as f64;
@@ -156,7 +155,11 @@ pub fn analyze(instance: &SpmInstance, schedule: &Schedule) -> ScheduleAnalysis 
             users: edge_users[e.index()],
         })
         .collect();
-    links.sort_by(|a, b| b.cost.partial_cmp(&a.cost).unwrap_or(std::cmp::Ordering::Equal));
+    links.sort_by(|a, b| {
+        b.cost
+            .partial_cmp(&a.cost)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
 
     let cost: f64 = edge_cost.iter().sum();
     ScheduleAnalysis {

@@ -19,18 +19,31 @@
 //! taken, so the returned schedule always satisfies BL-SPM's constraints
 //! (the estimator then only steers revenue).
 
-use metis_lp::{Problem, Relation, Sense, SolveError, SolveOptions};
+use metis_lp::{Basis, Problem, Relation, RowId, Sense, SolveError, SolveOptions};
 use metis_workload::RequestId;
 
 use crate::chernoff::{chernoff_delta, select_mu};
 use crate::instance::SpmInstance;
+use crate::parallel::{self, ParallelConfig};
 use crate::schedule::{Evaluation, Schedule};
+
+/// Fan the per-request decision-tree candidate evaluation across workers
+/// only when the request touches at least this many (cell, S) terms; below
+/// that, thread handoff costs more than the arithmetic it distributes.
+const PARALLEL_EVAL_MIN_CELLS: usize = 64;
 
 /// Options for [`taa`].
 #[derive(Clone, Copy, Debug, PartialEq, Default)]
 pub struct TaaOptions {
     /// LP solver options.
     pub lp: SolveOptions,
+    /// Worker threads for the per-request precomputation and the
+    /// decision-tree candidate evaluation. The walk itself is inherently
+    /// sequential (each level conditions on the previous choice), but the
+    /// candidate branches at one level are independent, as is the
+    /// per-request cell precomputation. Results are bit-identical for any
+    /// thread count. (`trials` is ignored here; it only affects MAA.)
+    pub parallel: ParallelConfig,
 }
 
 /// Fractional optimum of the relaxed BL-SPM.
@@ -79,12 +92,7 @@ pub fn solve_blspm_relaxation(
     let mut p = Problem::new(Sense::Maximize);
     let mut xvars: Vec<Vec<metis_lp::VarId>> = Vec::with_capacity(instance.num_requests());
     for (r, paths) in instance.iter() {
-        xvars.push(
-            paths
-                .iter()
-                .map(|_| p.add_var(r.value, 0.0, 1.0))
-                .collect(),
-        );
+        xvars.push(paths.iter().map(|_| p.add_var(r.value, 0.0, 1.0)).collect());
     }
     for vars in &xvars {
         p.add_constraint(vars.iter().map(|&v| (v, 1.0)), Relation::Le, 1.0);
@@ -190,7 +198,45 @@ pub fn taa(
     options: &TaaOptions,
 ) -> Result<TaaResult, SolveError> {
     let relaxation = solve_blspm_relaxation(instance, capacities, &options.lp)?;
+    Ok(taa_from_relaxation(
+        instance, capacities, options, relaxation,
+    ))
+}
+
+/// Runs TAA like [`taa`], but solves the relaxation through a reusable
+/// [`BlspmWarmSolver`] so consecutive calls with drifting capacity vectors
+/// (the Metis alternation rounds) warm-start the simplex from the previous
+/// round's basis.
+///
+/// # Errors
+///
+/// Propagates LP failures from the relaxation stage.
+///
+/// # Panics
+///
+/// Panics if `capacities.len()` differs from the edge count or `solver`
+/// was built from a different instance.
+pub fn taa_with_solver(
+    instance: &SpmInstance,
+    capacities: &[f64],
+    options: &TaaOptions,
+    solver: &mut BlspmWarmSolver,
+) -> Result<TaaResult, SolveError> {
+    let relaxation = solver.solve(capacities, &options.lp)?;
+    Ok(taa_from_relaxation(
+        instance, capacities, options, relaxation,
+    ))
+}
+
+/// Scaling + derandomized walk, given an already-solved relaxation.
+fn taa_from_relaxation(
+    instance: &SpmInstance,
+    capacities: &[f64],
+    options: &TaaOptions,
+    relaxation: BlspmRelaxation,
+) -> TaaResult {
     let k = instance.num_requests();
+    let threads = options.parallel.effective_threads();
     let topo = instance.topology();
 
     // Normalize rates and values into [0, 1] (Algorithm 2, line 1).
@@ -222,12 +268,12 @@ pub fn taa(
         // No capacity anywhere: decline everything.
         let schedule = Schedule::decline_all(k);
         let evaluation = schedule.evaluate(instance);
-        return Ok(TaaResult {
+        return TaaResult {
             schedule,
             evaluation,
             relaxation,
             mu: None,
-        });
+        };
     };
 
     let cells = CellIndex::build(instance, capacities);
@@ -240,12 +286,15 @@ pub fn taa(
     let i_b = i_s * (1.0 - gamma);
     let t_0 = (1.0 + gamma).ln();
 
-    // Per-request precomputation.
+    // Per-request precomputation, fanned across workers (each request's
+    // cell sets depend only on the instance and the relaxation, so the
+    // fan-out is invisible in the output).
     // `cells_of_path[i][j]`: dense cells covered by path j while active.
-    let mut cells_of_path: Vec<Vec<Vec<u32>>> = Vec::with_capacity(k);
     // `expect_cells[i]`: (cell, S_ik) with S_ik = μ Σ_{j crossing k} x̂_ij.
-    let mut expect_cells: Vec<Vec<(u32, f64)>> = Vec::with_capacity(k);
-    for (i, (r, paths)) in instance.iter().enumerate() {
+    let precomputed = parallel::run_indexed(k, threads, |i| {
+        let id = RequestId(i as u32);
+        let r = instance.request(id);
+        let paths = instance.paths(id);
         let mut per_path = Vec::with_capacity(paths.len());
         let mut acc: Vec<(u32, f64)> = Vec::new();
         for (j, path) in paths.iter().enumerate() {
@@ -267,6 +316,11 @@ pub fn taa(
                 _ => merged.push((c, s)),
             }
         }
+        (per_path, merged)
+    });
+    let mut cells_of_path: Vec<Vec<Vec<u32>>> = Vec::with_capacity(k);
+    let mut expect_cells: Vec<Vec<(u32, f64)>> = Vec::with_capacity(k);
+    for (per_path, merged) in precomputed {
         cells_of_path.push(per_path);
         expect_cells.push(merged);
     }
@@ -288,9 +342,7 @@ pub fn taa(
         .iter()
         .map(|xs| mu * xs.iter().sum::<f64>())
         .collect();
-    let mut f_rev: Vec<f64> = (0..k)
-        .map(|i| 1.0 + q[i] * (rev_assign[i] - 1.0))
-        .collect();
+    let mut f_rev: Vec<f64> = (0..k).map(|i| 1.0 + q[i] * (rev_assign[i] - 1.0)).collect();
     let mut r_term = (t_0 * i_b).exp();
     for &f in &f_rev {
         r_term *= f;
@@ -325,51 +377,69 @@ pub fn taa(
     for i in 0..k {
         let req = instance.request(RequestId(i as u32));
         let paths = &cells_of_path[i];
-        // Evaluate u' for each option. Options: paths first, decline last;
-        // strict minimum wins, so ties favor earlier (cheaper) paths.
-        let mut best_u = f64::INFINITY;
-        let mut best_choice: Option<usize> = None; // None here = undecided
-        let mut best_is_decline = false;
+        let num_paths = paths.len();
 
-        for (j, pcells) in paths.iter().enumerate() {
-            // Hard feasibility: every cell on the path must fit the rate.
-            let fits = pcells
-                .iter()
-                .all(|&c| cell_load[c as usize] + req.rate <= cells.caps[c as usize] + 1e-9);
-            if !fits {
-                continue;
+        // Evaluate u' for each candidate branch. Option `j < num_paths`
+        // routes on path j (`None` when it would overload a cell); option
+        // `num_paths` declines. Every evaluation reads only the estimator
+        // state frozen at this level, so the branches can be scored on
+        // worker threads with bit-identical results.
+        let eval_option = |opt: usize| -> Option<f64> {
+            if opt < num_paths {
+                let pcells = &paths[opt];
+                // Hard feasibility: every cell on the path must fit.
+                let fits = pcells
+                    .iter()
+                    .all(|&c| cell_load[c as usize] + req.rate <= cells.caps[c as usize] + 1e-9);
+                if !fits {
+                    return None;
+                }
+                // u' = R·(g_rev/f_rev) + total_C + Σ_{k affected} C_k·(g/f − 1).
+                let mut u = r_term * (rev_assign[i] / f_rev[i]) + total_c;
+                // Cells in the expectation set change factor: to a_i on
+                // this path's cells, to 1 elsewhere. Path cells outside
+                // the expectation set cannot exist: every path cell
+                // carries S ≥ 0 and is inserted during precompute.
+                for (idx, &(cell, _)) in expect_cells[i].iter().enumerate() {
+                    let on_path = pcells.contains(&cell);
+                    let g = if on_path { a_exp[i] } else { 1.0 };
+                    u += c_term[cell as usize] * (g / f_cons[i][idx] - 1.0);
+                }
+                Some(u)
+            } else {
+                // Decline: g_rev = 1, every g = 1.
+                let mut u = r_term * (1.0 / f_rev[i]) + total_c;
+                for (idx, &(cell, _)) in expect_cells[i].iter().enumerate() {
+                    u += c_term[cell as usize] * (1.0 / f_cons[i][idx] - 1.0);
+                }
+                Some(u)
             }
-            // u' = R·(g_rev/f_rev) + total_C + Σ_{k affected} C_k·(g/f − 1).
-            let mut u = r_term * (rev_assign[i] / f_rev[i]) + total_c;
-            // Cells in the expectation set change factor: to a_i on this
-            // path's cells, to 1 elsewhere.
-            for (idx, &(cell, _)) in expect_cells[i].iter().enumerate() {
-                let on_path = pcells.contains(&cell);
-                let g = if on_path { a_exp[i] } else { 1.0 };
-                u += c_term[cell as usize] * (g / f_cons[i][idx] - 1.0);
-            }
-            // Path cells outside the expectation set cannot exist: every
-            // path cell carries S ≥ 0 and is inserted during precompute.
-            if u < best_u {
-                best_u = u;
-                best_choice = Some(j);
-                best_is_decline = false;
+        };
+        let scores: Vec<Option<f64>> =
+            if threads > 1 && expect_cells[i].len() >= PARALLEL_EVAL_MIN_CELLS {
+                parallel::run_indexed(num_paths + 1, threads, eval_option)
+            } else {
+                (0..=num_paths).map(eval_option).collect()
+            };
+
+        // Strict minimum wins, paths scanned first, so ties favor earlier
+        // (cheaper) paths and routing beats an equal-score decline.
+        let mut best_u = f64::INFINITY;
+        let mut chosen: Option<usize> = None;
+        for (j, score) in scores[..num_paths].iter().enumerate() {
+            if let Some(u) = *score {
+                if u < best_u {
+                    best_u = u;
+                    chosen = Some(j);
+                }
             }
         }
-        // Decline option: g_rev = 1, every g = 1.
-        {
-            let mut u = r_term * (1.0 / f_rev[i]) + total_c;
-            for (idx, &(cell, _)) in expect_cells[i].iter().enumerate() {
-                u += c_term[cell as usize] * (1.0 / f_cons[i][idx] - 1.0);
-            }
-            if u < best_u {
-                best_choice = None;
-                best_is_decline = true;
-            }
+        let decline_u = scores[num_paths].expect("decline always evaluates");
+        if decline_u < best_u {
+            chosen = None;
         }
 
         // Apply the chosen branch.
-        let chosen = if best_is_decline { None } else { best_choice };
         match chosen {
             Some(j) => {
                 schedule.set(RequestId(i as u32), Some(j));
@@ -436,12 +506,174 @@ pub fn taa(
 
     debug_assert!(schedule.check_capacities(instance, capacities).is_ok());
     let evaluation = schedule.evaluate(instance);
-    Ok(TaaResult {
+    TaaResult {
         schedule,
         evaluation,
         relaxation,
         mu: Some(mu),
-    })
+    }
+}
+
+/// Re-solvable BL-SPM relaxation with simplex warm starts.
+///
+/// The BL-SPM program's *structure* — variables, rows, objective, bounds —
+/// depends only on the instance; the capacity vector appears purely as
+/// the right-hand side of the load rows. This solver builds the program
+/// once, records the [`RowId`] of every load row, and on each
+/// [`BlspmWarmSolver::solve`] call overwrites the right-hand sides with
+/// [`Problem::set_rhs`] and restarts the simplex from the previous
+/// optimum's [`Basis`]. Between Metis rounds the capacities only tighten
+/// a little, so the old basis is usually a few dual pivots from the new
+/// optimum. The optimum **value** always equals the cold rebuild's; the
+/// optimal **vertex** may be a different one of the tied optima.
+///
+/// # Examples
+///
+/// ```
+/// use metis_core::{solve_blspm_relaxation, BlspmWarmSolver, SpmInstance};
+/// use metis_lp::SolveOptions;
+/// use metis_netsim::topologies;
+/// use metis_workload::{generate, WorkloadConfig};
+///
+/// let topo = topologies::sub_b4();
+/// let requests = generate(&topo, &WorkloadConfig::paper(10, 5));
+/// let instance = SpmInstance::new(topo, requests, 12, 3);
+///
+/// let mut solver = BlspmWarmSolver::new(&instance);
+/// let opts = SolveOptions::default();
+/// let caps = vec![4.0; instance.topology().num_edges()];
+/// let warm = solver.solve(&caps, &opts)?;
+/// let cold = solve_blspm_relaxation(&instance, &caps, &opts)?;
+/// assert!((warm.revenue - cold.revenue).abs() < 1e-6);
+/// # Ok::<(), metis_lp::SolveError>(())
+/// ```
+#[derive(Clone)]
+pub struct BlspmWarmSolver {
+    problem: Problem,
+    xvars: Vec<Vec<metis_lp::VarId>>,
+    /// `(edge index, load row)` for every (edge, slot) cell with a row.
+    cell_rows: Vec<(usize, RowId)>,
+    num_edges: usize,
+    basis: Option<Basis>,
+    warm_solves: usize,
+    cold_solves: usize,
+}
+
+impl BlspmWarmSolver {
+    /// Builds the fixed-structure program for `instance`. Load rows start
+    /// with zero capacity; [`BlspmWarmSolver::solve`] sets the real ones.
+    pub fn new(instance: &SpmInstance) -> Self {
+        let topo = instance.topology();
+        let slots = instance.num_slots();
+
+        let mut p = Problem::new(Sense::Maximize);
+        let mut xvars: Vec<Vec<metis_lp::VarId>> = Vec::with_capacity(instance.num_requests());
+        for (r, paths) in instance.iter() {
+            xvars.push(paths.iter().map(|_| p.add_var(r.value, 0.0, 1.0)).collect());
+        }
+        for vars in &xvars {
+            p.add_constraint(vars.iter().map(|&v| (v, 1.0)), Relation::Le, 1.0);
+        }
+        let mut cell_terms: Vec<Vec<(metis_lp::VarId, f64)>> =
+            vec![Vec::new(); topo.num_edges() * slots];
+        for (i, (r, paths)) in instance.iter().enumerate() {
+            for (j, path) in paths.iter().enumerate() {
+                for &e in path.edges() {
+                    for t in r.start..=r.end {
+                        cell_terms[e.index() * slots + t].push((xvars[i][j], r.rate));
+                    }
+                }
+            }
+        }
+        let mut cell_rows = Vec::new();
+        for e in 0..topo.num_edges() {
+            for t in 0..slots {
+                let terms = &cell_terms[e * slots + t];
+                if !terms.is_empty() {
+                    let row = p.add_constraint(terms.iter().copied(), Relation::Le, 0.0);
+                    cell_rows.push((e, row));
+                }
+            }
+        }
+
+        BlspmWarmSolver {
+            problem: p,
+            xvars,
+            cell_rows,
+            num_edges: topo.num_edges(),
+            basis: None,
+            warm_solves: 0,
+            cold_solves: 0,
+        }
+    }
+
+    /// Solves the relaxation for `capacities`, warm-starting from the last
+    /// solve's basis when one exists. A failed warm restart discards the
+    /// basis and retries cold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP failures from the cold path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacities.len()` differs from the edge count.
+    pub fn solve(
+        &mut self,
+        capacities: &[f64],
+        lp_options: &SolveOptions,
+    ) -> Result<BlspmRelaxation, SolveError> {
+        assert_eq!(capacities.len(), self.num_edges, "capacity vector length");
+        for &(e, row) in &self.cell_rows {
+            self.problem.set_rhs(row, capacities[e]);
+        }
+        let had_basis = self.basis.is_some();
+        let attempt = self
+            .problem
+            .solve_with_basis(lp_options, self.basis.as_ref());
+        let (sol, basis) = match attempt {
+            Ok(pair) => {
+                if had_basis {
+                    self.warm_solves += 1;
+                } else {
+                    self.cold_solves += 1;
+                }
+                pair
+            }
+            Err(_) if had_basis => {
+                self.basis = None;
+                self.cold_solves += 1;
+                self.problem.solve_with_basis(lp_options, None)?
+            }
+            Err(e) => return Err(e),
+        };
+        self.basis = Some(basis);
+
+        let x: Vec<Vec<f64>> = self
+            .xvars
+            .iter()
+            .map(|vars| vars.iter().map(|&v| sol.value(v).clamp(0.0, 1.0)).collect())
+            .collect();
+        Ok(BlspmRelaxation {
+            x,
+            revenue: sol.objective(),
+        })
+    }
+
+    /// Solves that started from a previous basis.
+    pub fn warm_solves(&self) -> usize {
+        self.warm_solves
+    }
+
+    /// Solves that built a basis from scratch.
+    pub fn cold_solves(&self) -> usize {
+        self.cold_solves
+    }
+
+    /// Drops the stored basis, forcing the next solve to start cold.
+    pub fn reset_basis(&mut self) {
+        self.basis = None;
+    }
 }
 
 #[cfg(test)]
@@ -474,7 +706,11 @@ mod tests {
         let inst = instance(20, 2);
         let caps = vec![1000.0; inst.topology().num_edges()];
         let res = taa(&inst, &caps, &TaaOptions::default()).unwrap();
-        assert_eq!(res.schedule.num_accepted(), 20, "nothing should be declined");
+        assert_eq!(
+            res.schedule.num_accepted(),
+            20,
+            "nothing should be declined"
+        );
         assert!((res.evaluation.revenue - inst.total_value()).abs() < 1e-6);
     }
 
@@ -525,6 +761,64 @@ mod tests {
         let a = taa(&inst, &caps, &TaaOptions::default()).unwrap();
         let b = taa(&inst, &caps, &TaaOptions::default()).unwrap();
         assert_eq!(a.schedule, b.schedule);
+    }
+
+    #[test]
+    fn parallel_walk_bit_identical_across_thread_counts() {
+        let inst = instance(40, 8);
+        let caps = vec![3.0; inst.topology().num_edges()];
+        let serial = taa(&inst, &caps, &TaaOptions::default()).unwrap();
+        for threads in [2, 8] {
+            let opts = TaaOptions {
+                parallel: ParallelConfig {
+                    threads,
+                    ..ParallelConfig::default()
+                },
+                ..TaaOptions::default()
+            };
+            let par = taa(&inst, &caps, &opts).unwrap();
+            assert_eq!(par.schedule, serial.schedule, "threads = {threads}");
+            assert_eq!(par.evaluation, serial.evaluation, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn warm_solver_matches_cold_relaxation_revenue() {
+        let inst = instance(30, 9);
+        let opts = SolveOptions::default();
+        let mut solver = BlspmWarmSolver::new(&inst);
+        // A tightening capacity sequence like the Metis limiter produces.
+        for cap in [8.0, 5.0, 3.0, 2.0, 1.0] {
+            let caps = vec![cap; inst.topology().num_edges()];
+            let warm = solver.solve(&caps, &opts).unwrap();
+            let cold = solve_blspm_relaxation(&inst, &caps, &opts).unwrap();
+            assert!(
+                (warm.revenue - cold.revenue).abs() < 1e-6,
+                "cap {cap}: warm {} vs cold {}",
+                warm.revenue,
+                cold.revenue
+            );
+            for xs in &warm.x {
+                let s: f64 = xs.iter().sum();
+                assert!(s <= 1.0 + 1e-6);
+            }
+        }
+        assert_eq!(solver.cold_solves(), 1, "only the first solve is cold");
+        assert_eq!(solver.warm_solves(), 4);
+    }
+
+    #[test]
+    fn taa_with_solver_stays_feasible_and_bounded() {
+        let inst = instance(50, 10);
+        let mut solver = BlspmWarmSolver::new(&inst);
+        for cap in [4.0, 2.0, 1.0] {
+            let caps = vec![cap; inst.topology().num_edges()];
+            let res = taa_with_solver(&inst, &caps, &TaaOptions::default(), &mut solver).unwrap();
+            res.schedule
+                .check_capacities(&inst, &caps)
+                .unwrap_or_else(|v| panic!("cap {cap}: {v}"));
+            assert!(res.evaluation.revenue <= res.relaxation.revenue + 1e-6);
+        }
     }
 
     #[test]

@@ -157,7 +157,10 @@ mod tests {
     fn mu_grows_with_capacity() {
         let small = select_mu(1.0, 12, 38).unwrap();
         let big = select_mu(50.0, 12, 38).unwrap();
-        assert!(big > small, "more capacity allows less scaling: {big} vs {small}");
+        assert!(
+            big > small,
+            "more capacity allows less scaling: {big} vs {small}"
+        );
     }
 
     #[test]

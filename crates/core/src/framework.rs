@@ -11,10 +11,11 @@ use serde::{Deserialize, Serialize};
 
 use metis_lp::SolveError;
 
-use crate::blspm::{taa, TaaOptions};
+use crate::blspm::{taa, taa_with_solver, BlspmWarmSolver, TaaOptions};
 use crate::instance::SpmInstance;
 use crate::limiter::LimiterRule;
-use crate::rlspm::{maa, MaaOptions};
+use crate::parallel::ParallelConfig;
+use crate::rlspm::{maa, maa_with_solver, MaaOptions, RlspmWarmSolver};
 use crate::schedule::{Evaluation, Schedule};
 
 /// Configuration of one Metis run.
@@ -25,6 +26,18 @@ pub struct MetisConfig {
     pub theta: usize,
     /// The bandwidth-reduction rule `τ`.
     pub limiter: LimiterRule,
+    /// Worker threads and rounding-trial override, propagated to both
+    /// phases (this field wins over `maa.parallel` / `taa.parallel` inside
+    /// [`metis`]). Thread count never changes results: trials and
+    /// candidate scores come from per-index RNG streams / read-only state
+    /// and are always reduced in index order.
+    pub parallel: ParallelConfig,
+    /// Reuse each phase's simplex basis across alternation rounds
+    /// ([`RlspmWarmSolver`] / [`BlspmWarmSolver`]) instead of solving
+    /// every round's LP from scratch. Off by default: warm and cold runs
+    /// reach the same LP optima, but may pick different tied vertices and
+    /// therefore different (equally valid) schedules.
+    pub warm_start: bool,
     /// RL-SPM solver (MAA) options.
     pub maa: MaaOptions,
     /// BL-SPM solver (TAA) options.
@@ -102,16 +115,43 @@ pub fn metis(instance: &SpmInstance, config: &MetisConfig) -> Result<MetisResult
     let k = instance.num_requests();
     let mut history = Vec::new();
 
+    let maa_opts = MaaOptions {
+        parallel: config.parallel,
+        ..config.maa
+    };
+    let taa_opts = TaaOptions {
+        parallel: config.parallel,
+        ..config.taa
+    };
+    let mut rl_solver = if config.warm_start {
+        Some(RlspmWarmSolver::new(instance))
+    } else {
+        None
+    };
+    let mut bl_solver = if config.warm_start {
+        Some(BlspmWarmSolver::new(instance))
+    } else {
+        None
+    };
+    let mut run_maa = |accepted: &[bool]| match rl_solver.as_mut() {
+        Some(solver) => maa_with_solver(instance, accepted, &maa_opts, solver),
+        None => maa(instance, accepted, &maa_opts),
+    };
+    let mut run_taa = |caps: &[f64]| match bl_solver.as_mut() {
+        Some(solver) => taa_with_solver(instance, caps, &taa_opts, solver),
+        None => taa(instance, caps, &taa_opts),
+    };
+
     // SP Updater: profit starts at zero with everything declined.
     let mut best_schedule = Schedule::decline_all(k);
     let mut best_eval = best_schedule.evaluate(instance);
 
     let record = |phase: Phase,
-                      schedule: Schedule,
-                      eval: Evaluation,
-                      best_s: &mut Schedule,
-                      best_e: &mut Evaluation,
-                      history: &mut Vec<IterationRecord>| {
+                  schedule: Schedule,
+                  eval: Evaluation,
+                  best_s: &mut Schedule,
+                  best_e: &mut Evaluation,
+                  history: &mut Vec<IterationRecord>| {
         history.push(IterationRecord {
             phase,
             profit: eval.profit,
@@ -125,7 +165,7 @@ pub fn metis(instance: &SpmInstance, config: &MetisConfig) -> Result<MetisResult
 
     // Initialization: accept every request and minimize its cost.
     let mut accepted = vec![true; k];
-    let first = maa(instance, &accepted, &config.maa)?;
+    let first = run_maa(&accepted)?;
     // Running capacity budget: what the provider would purchase for the
     // current accepted set. Kept element-wise monotone so the limiter
     // makes progress even when the accepted set stalls.
@@ -150,7 +190,7 @@ pub fn metis(instance: &SpmInstance, config: &MetisConfig) -> Result<MetisResult
             .apply(instance.topology(), &best_eval.load, &caps);
 
         // BL-SPM Solver: re-select requests under the tightened budget.
-        let t = taa(instance, &caps, &config.taa)?;
+        let t = run_taa(&caps)?;
         accepted = (0..k)
             .map(|i| t.schedule.is_accepted(metis_workload::RequestId(i as u32)))
             .collect();
@@ -169,7 +209,7 @@ pub fn metis(instance: &SpmInstance, config: &MetisConfig) -> Result<MetisResult
         }
 
         // RL-SPM Solver: re-minimize cost for the surviving set.
-        let m = maa(instance, &accepted, &config.maa)?;
+        let m = run_maa(&accepted)?;
         for (c, &m_c) in caps.iter_mut().zip(&m.evaluation.charged) {
             *c = c.min(m_c);
         }
@@ -217,7 +257,7 @@ mod tests {
         // Metis's record starts from the accept-everything MAA schedule,
         // so it can only improve on it.
         let inst = instance(40, 1);
-        let all = maa(&inst, &vec![true; 40], &MaaOptions::default()).unwrap();
+        let all = maa(&inst, &[true; 40], &MaaOptions::default()).unwrap();
         let res = metis(&inst, &MetisConfig::with_theta(6)).unwrap();
         assert!(res.evaluation.profit >= all.evaluation.profit - 1e-9);
     }
@@ -268,6 +308,58 @@ mod tests {
             .evaluation
             .profit;
         assert!(p8 >= p2 - 1e-9, "longer runs keep the SP Updater record");
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        let inst = instance(30, 6);
+        for warm_start in [false, true] {
+            let base = MetisConfig {
+                theta: 4,
+                warm_start,
+                maa: MaaOptions {
+                    rounding_repeats: 8,
+                    seed: 5,
+                    ..MaaOptions::default()
+                },
+                ..MetisConfig::default()
+            };
+            let reference = metis(&inst, &base).unwrap();
+            for threads in [2, 8] {
+                let cfg = MetisConfig {
+                    parallel: ParallelConfig {
+                        threads,
+                        ..ParallelConfig::default()
+                    },
+                    ..base
+                };
+                let run = metis(&inst, &cfg).unwrap();
+                assert_eq!(
+                    run.schedule, reference.schedule,
+                    "warm_start = {warm_start}, threads = {threads}"
+                );
+                assert_eq!(run.history, reference.history);
+                assert_eq!(run.evaluation, reference.evaluation);
+            }
+        }
+    }
+
+    #[test]
+    fn warm_start_is_deterministic_and_profitable() {
+        let inst = instance(30, 7);
+        let cfg = MetisConfig {
+            theta: 5,
+            warm_start: true,
+            ..MetisConfig::default()
+        };
+        let a = metis(&inst, &cfg).unwrap();
+        let b = metis(&inst, &cfg).unwrap();
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.history, b.history);
+        assert!(a.evaluation.profit >= 0.0);
+        // The SP Updater keeps the best record, so the final profit
+        // dominates the warm run's own accept-all initialization.
+        assert!(a.evaluation.profit >= a.history[0].profit - 1e-9);
     }
 
     #[test]

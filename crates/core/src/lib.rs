@@ -46,14 +46,22 @@ mod framework;
 mod instance;
 mod limiter;
 mod online;
+mod parallel;
 mod rlspm;
 mod schedule;
 
 pub use analysis::{analyze, LinkOutcome, RequestOutcome, ScheduleAnalysis};
-pub use blspm::{solve_blspm_relaxation, taa, BlspmRelaxation, TaaOptions, TaaResult};
+pub use blspm::{
+    solve_blspm_relaxation, taa, taa_with_solver, BlspmRelaxation, BlspmWarmSolver, TaaOptions,
+    TaaResult,
+};
 pub use framework::{metis, IterationRecord, MetisConfig, MetisResult, Phase};
 pub use instance::{SpmInstance, DEFAULT_PATHS_PER_PAIR};
 pub use limiter::LimiterRule;
 pub use online::{online_metis, EpochRecord, OnlineOptions, OnlineResult};
-pub use rlspm::{maa, round_schedule, solve_rlspm_relaxation, MaaOptions, MaaResult, RlspmRelaxation};
+pub use parallel::ParallelConfig;
+pub use rlspm::{
+    maa, maa_with_solver, round_schedule, solve_rlspm_relaxation, MaaOptions, MaaResult,
+    RlspmRelaxation, RlspmWarmSolver,
+};
 pub use schedule::{CapacityViolation, Evaluation, Schedule};

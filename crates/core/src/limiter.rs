@@ -78,12 +78,12 @@ impl LimiterRule {
 /// The link with positive capacity and minimal average utilization.
 fn min_utilization_edge(load: &LoadMatrix, capacities: &[f64]) -> Option<EdgeId> {
     let mut best: Option<(EdgeId, f64)> = None;
-    for e in 0..capacities.len() {
-        if capacities[e] <= 0.0 {
+    for (e, &cap) in capacities.iter().enumerate() {
+        if cap <= 0.0 {
             continue;
         }
         let id = EdgeId(e as u32);
-        let util = load.mean(id) / capacities[e];
+        let util = load.mean(id) / cap;
         match best {
             Some((_, u)) if u <= util => {}
             _ => best = Some((id, util)),
@@ -175,6 +175,9 @@ mod tests {
         for _ in 0..100 {
             caps = LimiterRule::MinUtilization.apply(&topo, &load, &caps);
         }
-        assert!(caps.iter().all(|&c| c == 0.0), "limiter must drain capacity");
+        assert!(
+            caps.iter().all(|&c| c == 0.0),
+            "limiter must drain capacity"
+        );
     }
 }

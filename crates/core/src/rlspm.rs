@@ -17,10 +17,11 @@ use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 
-use metis_lp::{Problem, Relation, Sense, SolveError, SolveOptions};
+use metis_lp::{Basis, Problem, Relation, Sense, SolveError, SolveOptions};
 use metis_workload::RequestId;
 
 use crate::instance::SpmInstance;
+use crate::parallel::{self, ParallelConfig};
 use crate::schedule::{Evaluation, Schedule};
 
 /// Options for [`maa`].
@@ -30,12 +31,18 @@ pub struct MaaOptions {
     /// kept. The paper's algorithm rounds once; its Fig. 4b experiment
     /// repeats the rounding to study the cost distribution.
     pub rounding_repeats: usize,
-    /// RNG seed for the rounding stage.
+    /// Base RNG seed for the rounding stage. Trial `t` draws from its own
+    /// `ChaCha12` stream seeded with `seed + t`, so the set of trials — and
+    /// hence the kept schedule — does not depend on how many worker
+    /// threads execute them.
     pub seed: u64,
     /// Post-improve the rounded schedule by single-request path moves
     /// until no move lowers the billed cost (an extension beyond the
     /// paper's Algorithm 1; off by default).
     pub local_search: bool,
+    /// Worker threads and optional trial-count override for the rounding
+    /// stage.
+    pub parallel: ParallelConfig,
     /// LP solver options.
     pub lp: SolveOptions,
 }
@@ -46,6 +53,7 @@ impl Default for MaaOptions {
             rounding_repeats: 1,
             seed: 0,
             local_search: false,
+            parallel: ParallelConfig::default(),
             lp: SolveOptions::default(),
         }
     }
@@ -180,6 +188,233 @@ pub fn solve_rlspm_relaxation(
     })
 }
 
+/// Re-solvable RL-SPM relaxation with simplex warm starts.
+///
+/// [`solve_rlspm_relaxation`] rebuilds its LP from scratch for every
+/// acceptance mask, so the structure (which variables and rows exist)
+/// depends on the mask and no simplex basis can carry over. This solver
+/// instead builds one **fixed-structure** program over *all* requests
+/// once:
+///
+/// * `x_{i,j} ∈ [0,1]` for every request and candidate path,
+/// * `ĉ_e ≥ 0` per edge with objective `u_e`,
+/// * an indicator `y_i` per request with the demand row
+///   `Σ_j x_{i,j} − y_i = 0`, and
+/// * load rows `Σ r_i x_{i,j} − ĉ_e ≤ 0` over every reachable
+///   (edge, slot) cell.
+///
+/// Changing the mask only toggles the `y_i` bounds between `[0, 0]`
+/// (declined: all of `i`'s path variables are forced to zero) and `[1, 1]`
+/// (accepted: exactly one unit of flow), which keeps the previous round's
+/// [`Basis`] structurally valid — each re-solve starts from it and
+/// typically finishes in a handful of pivots. The optimum **value** always
+/// equals the per-mask LP's; the optimal **vertex** may be a different one
+/// of the tied optima than the cold rebuild finds.
+///
+/// # Examples
+///
+/// ```
+/// use metis_core::{solve_rlspm_relaxation, RlspmWarmSolver, SpmInstance};
+/// use metis_lp::SolveOptions;
+/// use metis_netsim::topologies;
+/// use metis_workload::{generate, WorkloadConfig};
+///
+/// let topo = topologies::sub_b4();
+/// let requests = generate(&topo, &WorkloadConfig::paper(10, 5));
+/// let instance = SpmInstance::new(topo, requests, 12, 3);
+///
+/// let mut solver = RlspmWarmSolver::new(&instance);
+/// let opts = SolveOptions::default();
+/// let all = vec![true; 10];
+/// let warm = solver.solve(&all, &opts)?;
+/// let cold = solve_rlspm_relaxation(&instance, &all, &opts)?;
+/// assert!((warm.cost - cold.cost).abs() < 1e-6);
+/// # Ok::<(), metis_lp::SolveError>(())
+/// ```
+#[derive(Clone)]
+pub struct RlspmWarmSolver {
+    problem: Problem,
+    xvars: Vec<Vec<metis_lp::VarId>>,
+    cvars: Vec<metis_lp::VarId>,
+    yvars: Vec<metis_lp::VarId>,
+    basis: Option<Basis>,
+    warm_solves: usize,
+    cold_solves: usize,
+}
+
+impl RlspmWarmSolver {
+    /// Builds the fixed-structure program for `instance`. All requests
+    /// start declined; [`RlspmWarmSolver::solve`] sets the actual mask.
+    pub fn new(instance: &SpmInstance) -> Self {
+        let topo = instance.topology();
+        let num_edges = topo.num_edges();
+        let slots = instance.num_slots();
+
+        let mut p = Problem::new(Sense::Minimize);
+        let xvars: Vec<Vec<metis_lp::VarId>> = instance
+            .iter()
+            .map(|(_, paths)| paths.iter().map(|_| p.add_var(0.0, 0.0, 1.0)).collect())
+            .collect();
+        let cvars: Vec<metis_lp::VarId> = topo
+            .edge_ids()
+            .map(|e| p.add_var(topo.price(e), 0.0, f64::INFINITY))
+            .collect();
+        let yvars: Vec<metis_lp::VarId> = (0..instance.num_requests())
+            .map(|_| p.add_var(0.0, 0.0, 0.0))
+            .collect();
+
+        // Σ_j x_{i,j} − y_i = 0 for every request.
+        for (i, vars) in xvars.iter().enumerate() {
+            p.add_constraint(
+                vars.iter()
+                    .map(|&v| (v, 1.0))
+                    .chain(std::iter::once((yvars[i], -1.0))),
+                Relation::Eq,
+                0.0,
+            );
+        }
+
+        // Load rows over every cell any candidate path can touch.
+        let mut cell_terms: Vec<Vec<(metis_lp::VarId, f64)>> = vec![Vec::new(); num_edges * slots];
+        for (i, (r, paths)) in instance.iter().enumerate() {
+            for (j, path) in paths.iter().enumerate() {
+                for &e in path.edges() {
+                    for t in r.start..=r.end {
+                        cell_terms[e.index() * slots + t].push((xvars[i][j], r.rate));
+                    }
+                }
+            }
+        }
+        for e in 0..num_edges {
+            for t in 0..slots {
+                let terms = &cell_terms[e * slots + t];
+                if terms.is_empty() {
+                    continue;
+                }
+                let row = terms
+                    .iter()
+                    .copied()
+                    .chain(std::iter::once((cvars[e], -1.0)));
+                p.add_constraint(row, Relation::Le, 0.0);
+            }
+        }
+
+        RlspmWarmSolver {
+            problem: p,
+            xvars,
+            cvars,
+            yvars,
+            basis: None,
+            warm_solves: 0,
+            cold_solves: 0,
+        }
+    }
+
+    /// Solves the relaxation for `accepted`, warm-starting from the last
+    /// solve's basis when one exists. If the warm restart fails for any
+    /// reason (e.g. a singular restored factorization reported as
+    /// infeasibility), the basis is discarded and the solve retried cold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates LP failures from the cold path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accepted.len() != instance.num_requests()` for the
+    /// instance this solver was built from.
+    pub fn solve(
+        &mut self,
+        accepted: &[bool],
+        lp_options: &SolveOptions,
+    ) -> Result<RlspmRelaxation, SolveError> {
+        assert_eq!(accepted.len(), self.yvars.len(), "mask length");
+        for (i, &on) in accepted.iter().enumerate() {
+            let b = if on { 1.0 } else { 0.0 };
+            self.problem.set_bounds(self.yvars[i], b, b);
+        }
+        let had_basis = self.basis.is_some();
+        let attempt = self
+            .problem
+            .solve_with_basis(lp_options, self.basis.as_ref());
+        let (sol, basis) = match attempt {
+            Ok(pair) => {
+                if had_basis {
+                    self.warm_solves += 1;
+                } else {
+                    self.cold_solves += 1;
+                }
+                pair
+            }
+            Err(_) if had_basis => {
+                self.basis = None;
+                self.cold_solves += 1;
+                self.problem.solve_with_basis(lp_options, None)?
+            }
+            Err(e) => return Err(e),
+        };
+        self.basis = Some(basis);
+
+        let x: Vec<Vec<f64>> = self
+            .xvars
+            .iter()
+            .enumerate()
+            .map(|(i, vars)| {
+                if accepted[i] {
+                    vars.iter().map(|&v| sol.value(v)).collect()
+                } else {
+                    Vec::new()
+                }
+            })
+            .collect();
+        let c: Vec<f64> = self.cvars.iter().map(|&v| sol.value(v)).collect();
+        Ok(RlspmRelaxation {
+            x,
+            c,
+            cost: sol.objective(),
+        })
+    }
+
+    /// Solves that started from a previous basis (including ones the
+    /// simplex internally restarted cold after a numerical failure).
+    pub fn warm_solves(&self) -> usize {
+        self.warm_solves
+    }
+
+    /// Solves that built a basis from scratch.
+    pub fn cold_solves(&self) -> usize {
+        self.cold_solves
+    }
+
+    /// Drops the stored basis, forcing the next solve to start cold.
+    pub fn reset_basis(&mut self) {
+        self.basis = None;
+    }
+}
+
+/// Runs MAA like [`maa`], but solves the relaxation through a reusable
+/// [`RlspmWarmSolver`] so consecutive calls (e.g. the Metis alternation
+/// rounds) warm-start the simplex from the previous acceptance mask's
+/// basis.
+///
+/// # Errors
+///
+/// Propagates LP failures from the relaxation stage.
+///
+/// # Panics
+///
+/// Panics as [`maa`] does, or if `solver` was built from a different
+/// instance.
+pub fn maa_with_solver(
+    instance: &SpmInstance,
+    accepted: &[bool],
+    options: &MaaOptions,
+    solver: &mut RlspmWarmSolver,
+) -> Result<MaaResult, SolveError> {
+    let relaxation = solver.solve(accepted, &options.lp)?;
+    Ok(maa_from_relaxation(instance, accepted, options, relaxation))
+}
+
 /// Runs MAA over the accepted requests: relax → round → ceil.
 ///
 /// Every request with `accepted[i] == true` is routed on exactly one of
@@ -215,15 +450,34 @@ pub fn maa(
     accepted: &[bool],
     options: &MaaOptions,
 ) -> Result<MaaResult, SolveError> {
-    assert!(options.rounding_repeats >= 1, "need at least one rounding");
     let relaxation = solve_rlspm_relaxation(instance, accepted, &options.lp)?;
-    let mut rng = ChaCha12Rng::seed_from_u64(options.seed);
+    Ok(maa_from_relaxation(instance, accepted, options, relaxation))
+}
 
-    let mut best: Option<(f64, Schedule)> = None;
-    for _ in 0..options.rounding_repeats {
+/// Rounding + ceiling stages of MAA, given an already-solved relaxation.
+///
+/// Trials run fanned across `options.parallel` worker threads; trial `t`
+/// rounds with its own `ChaCha12` stream seeded `seed + t`, and the
+/// cheapest schedule wins (first trial wins ties), so the result is
+/// bit-identical for any thread count.
+fn maa_from_relaxation(
+    instance: &SpmInstance,
+    accepted: &[bool],
+    options: &MaaOptions,
+    relaxation: RlspmRelaxation,
+) -> MaaResult {
+    let trials = options.parallel.effective_trials(options.rounding_repeats);
+    assert!(trials >= 1, "need at least one rounding");
+    let threads = options.parallel.effective_threads();
+    let rounded = parallel::run_indexed(trials, threads, |trial| {
+        let mut rng = ChaCha12Rng::seed_from_u64(options.seed.wrapping_add(trial as u64));
         let schedule = round_schedule(instance, accepted, &relaxation.x, &mut rng);
         let cost = schedule.load(instance).total_cost(instance.topology());
-        if best.as_ref().map_or(true, |(c, _)| cost < *c) {
+        (cost, schedule)
+    });
+    let mut best: Option<(f64, Schedule)> = None;
+    for (cost, schedule) in rounded {
+        if best.as_ref().is_none_or(|(c, _)| cost < *c) {
             best = Some((cost, schedule));
         }
     }
@@ -232,11 +486,11 @@ pub fn maa(
         improve_by_path_moves(instance, &mut schedule);
     }
     let evaluation = schedule.evaluate(instance);
-    Ok(MaaResult {
+    MaaResult {
         schedule,
         evaluation,
         relaxation,
-    })
+    }
 }
 
 /// First-improvement local search: move one accepted request to another
@@ -453,6 +707,62 @@ mod tests {
     }
 
     #[test]
+    fn trials_bit_identical_across_thread_counts() {
+        let inst = instance(25, 9);
+        let accepted = vec![true; 25];
+        let base = MaaOptions {
+            rounding_repeats: 8,
+            seed: 42,
+            ..MaaOptions::default()
+        };
+        let serial = maa(&inst, &accepted, &base).unwrap();
+        for threads in [2, 8] {
+            let opts = MaaOptions {
+                parallel: ParallelConfig {
+                    threads,
+                    ..ParallelConfig::default()
+                },
+                ..base
+            };
+            let par = maa(&inst, &accepted, &opts).unwrap();
+            assert_eq!(par.schedule, serial.schedule, "threads = {threads}");
+            assert_eq!(par.evaluation, serial.evaluation, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn trials_override_inherits_and_wins() {
+        let inst = instance(20, 10);
+        let accepted = vec![true; 20];
+        // trials = 16 via the override must equal rounding_repeats = 16.
+        let by_repeats = maa(
+            &inst,
+            &accepted,
+            &MaaOptions {
+                rounding_repeats: 16,
+                seed: 3,
+                ..MaaOptions::default()
+            },
+        )
+        .unwrap();
+        let by_override = maa(
+            &inst,
+            &accepted,
+            &MaaOptions {
+                rounding_repeats: 1,
+                seed: 3,
+                parallel: ParallelConfig {
+                    threads: 2,
+                    trials: 16,
+                },
+                ..MaaOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(by_override.schedule, by_repeats.schedule);
+    }
+
+    #[test]
     fn single_request_takes_cheapest_path() {
         // With one request, the LP routes it fully on the cheapest path and
         // rounding must follow.
@@ -496,6 +806,74 @@ mod tests {
             assert!(improved.evaluation.cost <= plain.evaluation.cost + 1e-9);
             assert_eq!(improved.schedule.num_accepted(), 40);
         }
+    }
+
+    #[test]
+    fn warm_solver_matches_cold_relaxation_cost() {
+        let inst = instance(20, 12);
+        let opts = SolveOptions::default();
+        let mut solver = RlspmWarmSolver::new(&inst);
+
+        let mut masks = vec![vec![true; 20]];
+        let mut partial = vec![true; 20];
+        for i in [1, 4, 9, 16] {
+            partial[i] = false;
+        }
+        masks.push(partial);
+        masks.push(vec![true; 20]); // back to full: basis reuse again
+        masks.push(vec![false; 20]);
+
+        for mask in &masks {
+            let warm = solver.solve(mask, &opts).unwrap();
+            let cold = solve_rlspm_relaxation(&inst, mask, &opts).unwrap();
+            assert!(
+                (warm.cost - cold.cost).abs() < 1e-6,
+                "warm {} vs cold {}",
+                warm.cost,
+                cold.cost
+            );
+            for (i, &on) in mask.iter().enumerate() {
+                if on {
+                    let sum: f64 = warm.x[i].iter().sum();
+                    assert!((sum - 1.0).abs() < 1e-6, "request {i} sum {sum}");
+                } else {
+                    assert!(warm.x[i].is_empty(), "declined request {i} has x row");
+                }
+            }
+        }
+        assert_eq!(solver.cold_solves(), 1, "only the first solve is cold");
+        assert_eq!(solver.warm_solves(), masks.len() - 1);
+    }
+
+    #[test]
+    fn maa_with_solver_matches_maa_economics() {
+        let inst = instance(15, 13);
+        let accepted = vec![true; 15];
+        let options = MaaOptions {
+            seed: 7,
+            rounding_repeats: 4,
+            ..MaaOptions::default()
+        };
+        let mut solver = RlspmWarmSolver::new(&inst);
+        let warm = maa_with_solver(&inst, &accepted, &options, &mut solver).unwrap();
+        let cold = maa(&inst, &accepted, &options).unwrap();
+        // Degenerate LP optima may differ vertex-wise, but the relaxation
+        // value is unique and both pipelines must respect the LP bound.
+        assert!((warm.relaxation.cost - cold.relaxation.cost).abs() < 1e-6);
+        assert!(warm.evaluation.cost >= warm.relaxation.cost - 1e-6);
+        assert_eq!(warm.schedule.num_accepted(), 15);
+    }
+
+    #[test]
+    fn warm_solver_reset_forces_cold() {
+        let inst = instance(8, 14);
+        let opts = SolveOptions::default();
+        let mut solver = RlspmWarmSolver::new(&inst);
+        solver.solve(&[true; 8], &opts).unwrap();
+        solver.reset_basis();
+        solver.solve(&[true; 8], &opts).unwrap();
+        assert_eq!(solver.cold_solves(), 2);
+        assert_eq!(solver.warm_solves(), 0);
     }
 
     #[test]

@@ -238,7 +238,7 @@ mod tests {
         assert_eq!(ev.cost, 0.0);
         assert_eq!(ev.profit, 0.0);
         assert_eq!(ev.accepted, 0);
-        assert!(s.check_capacities(&inst, &vec![0.0; 14]).is_ok());
+        assert!(s.check_capacities(&inst, &[0.0; 14]).is_ok());
     }
 
     #[test]

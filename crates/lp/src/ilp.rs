@@ -338,8 +338,7 @@ pub fn solve_ilp_with_start(
                     let (blo, bup) = problem.bounds(crate::VarId(j as u32));
                     let is_binary = blo >= -options.int_tol && bup <= 1.0 + options.int_tol;
                     // Lower score = better candidate.
-                    let score =
-                        (v.fract().abs() - 0.5).abs() + if is_binary { 0.0 } else { 1.0 };
+                    let score = (v.fract().abs() - 0.5).abs() + if is_binary { 0.0 } else { 1.0 };
                     match branch {
                         Some((_, _, s)) if s <= score => {}
                         _ => branch = Some((j, v, score)),
@@ -512,7 +511,10 @@ mod tests {
         // summing to as much as possible without exceeding 15 → 3+5+7=15.
         let weights = [3.0, 5.0, 7.0, 11.0];
         let mut p = Problem::new(Sense::Maximize);
-        let vars: Vec<_> = weights.iter().map(|&w| p.add_int_var(w, 0.0, 1.0)).collect();
+        let vars: Vec<_> = weights
+            .iter()
+            .map(|&w| p.add_int_var(w, 0.0, 1.0))
+            .collect();
         p.add_constraint(
             vars.iter().zip(&weights).map(|(&v, &w)| (v, w)),
             Relation::Le,
@@ -531,7 +533,9 @@ mod tests {
             .map(|i| p.add_int_var(4.0 + (i as f64) * 1.1, 0.0, 1.0))
             .collect();
         p.add_constraint(
-            vars.iter().enumerate().map(|(i, &v)| (v, 2.0 + (i % 3) as f64)),
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 2.0 + (i % 3) as f64)),
             Relation::Le,
             9.0,
         );
@@ -557,7 +561,9 @@ mod tests {
             .map(|i| p.add_int_var(10.0 + (i as f64), 0.0, 1.0))
             .collect();
         p.add_constraint(
-            vars.iter().enumerate().map(|(i, &v)| (v, 7.0 + (i as f64 % 3.0))),
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 7.0 + (i as f64 % 3.0))),
             Relation::Le,
             31.0,
         );
@@ -583,7 +589,9 @@ mod tests {
             .map(|i| p.add_int_var(5.0 + (i as f64) * 1.3, 0.0, 1.0))
             .collect();
         p.add_constraint(
-            vars.iter().enumerate().map(|(i, &v)| (v, 3.0 + (i as f64 * 0.7) % 2.0)),
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 3.0 + (i as f64 * 0.7) % 2.0)),
             Relation::Le,
             11.0,
         );

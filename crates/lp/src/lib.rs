@@ -36,9 +36,9 @@
 mod error;
 pub mod ilp;
 pub mod matrix;
+mod model;
 pub mod mps;
 mod presolve;
-mod model;
 mod simplex;
 mod solution;
 

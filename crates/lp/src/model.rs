@@ -223,6 +223,22 @@ impl Problem {
         RowId(row)
     }
 
+    /// Overwrites the right-hand side of an existing constraint.
+    ///
+    /// Together with [`Problem::solve_with_basis`], this supports
+    /// warm-started re-solves of a fixed-structure program whose
+    /// right-hand sides drift between rounds (e.g. per-round capacity
+    /// vectors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is NaN or `row` does not exist.
+    pub fn set_rhs(&mut self, row: RowId, rhs: f64) {
+        assert!(!rhs.is_nan(), "NaN right-hand side");
+        assert!(row.index() < self.rows.len(), "unknown row");
+        self.rows[row.index()].rhs = rhs;
+    }
+
     /// Indices of all integer-constrained variables.
     pub fn integer_vars(&self) -> Vec<VarId> {
         self.vars

@@ -164,8 +164,9 @@ pub fn parse(text: &str) -> Result<Problem, MpsParseError> {
         match section {
             Section::None => return Err(err(lineno, "data before any section")),
             Section::ObjSense => {
-                sense = parse_objsense(fields[0])
-                    .ok_or_else(|| err(lineno, &format!("unknown objective sense {}", fields[0])))?;
+                sense = parse_objsense(fields[0]).ok_or_else(|| {
+                    err(lineno, &format!("unknown objective sense {}", fields[0]))
+                })?;
                 section = Section::None;
             }
             Section::Rows => {
@@ -204,7 +205,7 @@ pub fn parse(text: &str) -> Result<Problem, MpsParseError> {
                     }
                     continue;
                 }
-                if fields.len() < 3 || fields.len() % 2 == 0 {
+                if fields.len() < 3 || fields.len().is_multiple_of(2) {
                     return Err(err(lineno, "COLUMNS line needs `<col> (<row> <val>)+`"));
                 }
                 let col = fields[0].to_string();
@@ -230,7 +231,7 @@ pub fn parse(text: &str) -> Result<Problem, MpsParseError> {
                 }
             }
             Section::Rhs => {
-                if fields.len() < 3 || fields.len() % 2 == 0 {
+                if fields.len() < 3 || fields.len().is_multiple_of(2) {
                     return Err(err(lineno, "RHS line needs `<set> (<row> <val>)+`"));
                 }
                 for pair in fields[1..].chunks(2) {
@@ -249,7 +250,7 @@ pub fn parse(text: &str) -> Result<Problem, MpsParseError> {
                 }
             }
             Section::Ranges => {
-                if fields.len() < 3 || fields.len() % 2 == 0 {
+                if fields.len() < 3 || fields.len().is_multiple_of(2) {
                     return Err(err(lineno, "RANGES line needs `<set> (<row> <val>)+`"));
                 }
                 for pair in fields[1..].chunks(2) {
@@ -327,7 +328,10 @@ pub fn parse(text: &str) -> Result<Problem, MpsParseError> {
             other => return Err(err(lineno, &format!("unknown bound type {other}"))),
         };
         if nlo > nup {
-            return Err(err(lineno, &format!("bound makes {col} empty: [{nlo}, {nup}]")));
+            return Err(err(
+                lineno,
+                &format!("bound makes {col} empty: [{nlo}, {nup}]"),
+            ));
         }
         p.set_bounds(id, nlo, nup);
     }
@@ -399,7 +403,7 @@ pub fn write(problem: &Problem) -> String {
     let by_col = problem.entries_by_column();
     let mut int_open = false;
     let mut marker = 0usize;
-    for j in 0..problem.num_vars() {
+    for (j, col_entries) in by_col.iter().enumerate() {
         let id = problem.var(j);
         let is_int = problem.is_integer(id);
         if is_int != int_open {
@@ -412,12 +416,12 @@ pub fn write(problem: &Problem) -> String {
         if obj != 0.0 {
             let _ = writeln!(out, "    X{j}  OBJ  {obj}");
         }
-        for &(row, v) in &by_col[j] {
+        for &(row, v) in col_entries {
             let _ = writeln!(out, "    X{j}  R{row}  {v}");
         }
         // Columns with no entries at all still need to exist: emit a
         // zero objective entry so parsers register them.
-        if obj == 0.0 && by_col[j].is_empty() {
+        if obj == 0.0 && col_entries.is_empty() {
             let _ = writeln!(out, "    X{j}  OBJ  0.0");
         }
     }

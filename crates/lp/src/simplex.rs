@@ -172,8 +172,14 @@ enum Pricing {
 /// Outcome of one ratio test.
 enum Ratio {
     Unbounded,
-    BoundFlip { step: f64 },
-    Pivot { row: usize, step: f64, to_upper: bool },
+    BoundFlip {
+        step: f64,
+    },
+    Pivot {
+        row: usize,
+        step: f64,
+        to_upper: bool,
+    },
 }
 
 impl Simplex {
@@ -307,10 +313,9 @@ impl Simplex {
         let mut art_builder = CscBuilder::new(m);
         let mut art_rows: Vec<usize> = Vec::new();
         self.xb = vec![0.0; m];
-        for i in 0..m {
+        for (i, &r) in resid.iter().enumerate() {
             let sj = self.n_struct + i;
             let (sl, su) = (self.lower[sj], self.upper[sj]);
-            let r = resid[i];
             if r > su + self.opts.tol {
                 // Slack pinned at its upper bound; artificial absorbs r − su.
                 self.state[sj] = VarState::AtUpper;
@@ -521,7 +526,11 @@ impl Simplex {
                 let bj = self.basis[r] as usize;
                 let below = self.lower[bj] - self.xb[r];
                 let above = self.xb[r] - self.upper[bj];
-                let (viol, at_upper) = if below > above { (below, false) } else { (above, true) };
+                let (viol, at_upper) = if below > above {
+                    (below, false)
+                } else {
+                    (above, true)
+                };
                 if viol > self.opts.tol {
                     match leave {
                         Some((_, v, _)) if v >= viol => {}
@@ -535,7 +544,11 @@ impl Simplex {
             self.iterations += 1;
 
             let bj = self.basis[row] as usize;
-            let target = if at_upper { self.upper[bj] } else { self.lower[bj] };
+            let target = if at_upper {
+                self.upper[bj]
+            } else {
+                self.lower[bj]
+            };
             let need_up = target > self.xb[row];
 
             // Duals for reduced costs.
@@ -617,15 +630,15 @@ impl Simplex {
     fn extract_solution(&mut self) -> Result<Solution, SolveError> {
         // Extract structural values.
         let mut x = vec![0.0; self.n_struct];
-        for j in 0..self.n_struct {
-            x[j] = match self.state[j] {
+        for (j, xj) in x.iter_mut().enumerate() {
+            *xj = match self.state[j] {
                 VarState::Basic(row) => self.xb[row as usize],
                 st => self.nonbasic_value(j, st),
             };
         }
         let mut obj = 0.0;
-        for j in 0..self.n_struct {
-            obj += self.cost[j] * x[j];
+        for (cj, xj) in self.cost.iter().zip(&x) {
+            obj += cj * xj;
         }
         if self.maximize {
             obj = -obj;
@@ -685,7 +698,11 @@ impl Simplex {
                             self.apply_bound_flip(col, dir, step);
                             self.degenerate_streak = 0;
                         }
-                        Ratio::Pivot { row, step, to_upper } => {
+                        Ratio::Pivot {
+                            row,
+                            step,
+                            to_upper,
+                        } => {
                             if step <= self.opts.tol {
                                 self.degenerate_streak += 1;
                             } else {
@@ -787,7 +804,11 @@ impl Simplex {
     fn ratio_test(&self, col: usize, dir: f64) -> Ratio {
         let ptol = self.opts.pivot_tol;
         let range = self.upper[col] - self.lower[col];
-        let mut t_best = if range.is_finite() { range } else { f64::INFINITY };
+        let mut t_best = if range.is_finite() {
+            range
+        } else {
+            f64::INFINITY
+        };
         let mut blocking: Option<(usize, bool)> = None; // (row, leaves_at_upper)
 
         for i in 0..self.m() {
@@ -983,12 +1004,12 @@ impl Simplex {
             }
         }
         for i in 0..m {
-            let mut acc = 0.0;
             let base = i * m;
-            for k in 0..m {
-                acc += self.binv[base + k] * resid[k];
-            }
-            self.xb[i] = acc;
+            self.xb[i] = self.binv[base..base + m]
+                .iter()
+                .zip(&resid)
+                .map(|(b, r)| b * r)
+                .sum();
         }
         Ok(())
     }
@@ -1123,13 +1144,17 @@ mod tests {
         let x = p.add_var(1.0, 0.0, f64::INFINITY);
         let y = p.add_var(1.0, 0.0, f64::INFINITY);
         for k in 1..=6 {
-            p.add_constraint([(x, 1.0), (y, k as f64)], Relation::Le, 1.0 + (k as f64 - 1.0));
+            p.add_constraint(
+                [(x, 1.0), (y, k as f64)],
+                Relation::Le,
+                1.0 + (k as f64 - 1.0),
+            );
         }
         p.add_constraint([(x, 1.0)], Relation::Le, 1.0);
         p.add_constraint([(y, 1.0)], Relation::Le, 1.0);
         let s = p.solve().unwrap();
         assert!(s.objective() <= 2.0 + 1e-6);
-        assert_eq!(p.max_violation(s.values()).max(0.0) < 1e-6, true);
+        assert!(p.max_violation(s.values()).max(0.0) < 1e-6);
     }
 
     #[test]
@@ -1146,10 +1171,18 @@ mod tests {
             }
         }
         for i in 0..2 {
-            p.add_constraint((0..3).map(|j| (v[i][j].unwrap(), 1.0)), Relation::Le, supply[i]);
+            p.add_constraint(
+                (0..3).map(|j| (v[i][j].unwrap(), 1.0)),
+                Relation::Le,
+                supply[i],
+            );
         }
         for j in 0..3 {
-            p.add_constraint((0..2).map(|i| (v[i][j].unwrap(), 1.0)), Relation::Ge, demand[j]);
+            p.add_constraint(
+                (0..2).map(|i| (v[i][j].unwrap(), 1.0)),
+                Relation::Ge,
+                demand[j],
+            );
         }
         let s = p.solve().unwrap();
         // Optimal: x11=8, x13=2, x22=7, x23=8 → 32+18+21+64 = 135.
@@ -1241,8 +1274,8 @@ mod tests {
             .collect();
         for i in 0..n {
             let mut terms: Vec<(crate::model::VarId, f64)> = Vec::new();
-            for j in 0..i {
-                terms.push((vars[j], 2f64.powi((i - j + 1) as i32)));
+            for (j, &vj) in vars.iter().enumerate().take(i) {
+                terms.push((vj, 2f64.powi((i - j + 1) as i32)));
             }
             terms.push((vars[i], 1.0));
             p.add_constraint(terms, Relation::Le, 5f64.powi(i as i32 + 1));
@@ -1341,7 +1374,9 @@ mod tests {
         // Repeated tightenings, always reusing the previous basis.
         let build = || {
             let mut p = Problem::new(Sense::Minimize);
-            let vars: Vec<_> = (0..6).map(|i| p.add_var(1.0 + i as f64 * 0.5, 0.0, 10.0)).collect();
+            let vars: Vec<_> = (0..6)
+                .map(|i| p.add_var(1.0 + i as f64 * 0.5, 0.0, 10.0))
+                .collect();
             for i in 0..6 {
                 let j = (i + 1) % 6;
                 p.add_constraint([(vars[i], 1.0), (vars[j], 1.0)], Relation::Ge, 4.0);

@@ -24,7 +24,9 @@ fn arb_lp(integer: bool) -> impl Strategy<Value = LpCase> {
         // Simple deterministic pseudo-random stream from the seed.
         let mut state = seed | 1;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0 // in [-1, 1)
         };
         let mut p = Problem::new(Sense::Minimize);

@@ -26,12 +26,28 @@ pub const CEIL_EPS: f64 = 1e-9;
 /// load.add(e, 2, 5, 0.37); // slots 2..=5
 /// assert_eq!(load.charged_units(e), 1);
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct LoadMatrix {
     num_edges: usize,
     num_slots: usize,
     /// Row-major `[edge][slot]`.
     data: Vec<f64>,
+    /// Cached `max(0, max_t load)` per edge, maintained incrementally by
+    /// [`LoadMatrix::add`]: increments update it in O(interval); a
+    /// decrement that may have lowered the peak rebuilds that edge's
+    /// cache in O(slots). The cache always equals a fresh scan exactly
+    /// (same fold, same float operations), so callers cannot observe it.
+    peaks: Vec<f64>,
+}
+
+/// Cache-blind equality: two matrices are equal iff their dimensions and
+/// per-cell loads are (the peak cache is a pure function of those).
+impl PartialEq for LoadMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_edges == other.num_edges
+            && self.num_slots == other.num_slots
+            && self.data == other.data
+    }
 }
 
 impl LoadMatrix {
@@ -41,6 +57,7 @@ impl LoadMatrix {
             num_edges,
             num_slots,
             data: vec![0.0; num_edges * num_slots],
+            peaks: vec![0.0; num_edges],
         }
     }
 
@@ -74,8 +91,32 @@ impl LoadMatrix {
         assert!(start <= end, "inverted slot range {start}..={end}");
         assert!(end < self.num_slots, "slot {end} out of range");
         let base = edge.index() * self.num_slots;
+        let mut old_touched_max = f64::NEG_INFINITY;
+        let mut touched_max = f64::NEG_INFINITY;
         for s in start..=end {
-            self.data[base + s] += amount;
+            let old = self.data[base + s];
+            if old > old_touched_max {
+                old_touched_max = old;
+            }
+            let v = old + amount;
+            self.data[base + s] = v;
+            if v > touched_max {
+                touched_max = v;
+            }
+        }
+        let cached = self.peaks[edge.index()];
+        if amount >= 0.0 {
+            // Untouched slots are unchanged and touched slots only grew,
+            // so the new peak is the old one or the tallest touched slot.
+            if touched_max > cached {
+                self.peaks[edge.index()] = touched_max;
+            }
+        } else if old_touched_max >= cached {
+            // The tallest touched slot reached the cached peak before this
+            // decrement, so the peak may have dropped — rescan this edge.
+            // (When it was strictly below, the peak lives on an untouched
+            // slot or the zero floor and is unchanged.)
+            self.peaks[edge.index()] = scan_peak(&self.data[base..base + self.num_slots]);
         }
     }
 
@@ -88,12 +129,10 @@ impl LoadMatrix {
         self.add(edge, start, end, -amount);
     }
 
-    /// Peak load on `edge` over the billing cycle.
+    /// Peak load on `edge` over the billing cycle (clamped below at zero),
+    /// answered from the incrementally-maintained per-edge cache in O(1).
     pub fn peak(&self, edge: EdgeId) -> f64 {
-        let base = edge.index() * self.num_slots;
-        self.data[base..base + self.num_slots]
-            .iter()
-            .fold(0.0_f64, |a, &b| a.max(b))
+        self.peaks[edge.index()]
     }
 
     /// Mean load on `edge` over the billing cycle.
@@ -130,13 +169,12 @@ impl LoadMatrix {
     /// Panics if `capacity.len()` differs from the edge count.
     pub fn utilization(&self, capacity: &[f64]) -> UtilizationStats {
         assert_eq!(capacity.len(), self.num_edges, "capacity length mismatch");
-        let mut stats = Vec::new();
-        for e in 0..self.num_edges {
-            if capacity[e] <= 0.0 {
-                continue;
-            }
-            stats.push(self.mean(EdgeId(e as u32)) / capacity[e]);
-        }
+        let stats: Vec<f64> = capacity
+            .iter()
+            .enumerate()
+            .filter(|&(_, &cap)| cap > 0.0)
+            .map(|(e, &cap)| self.mean(EdgeId(e as u32)) / cap)
+            .collect();
         UtilizationStats::from_values(&stats)
     }
 
@@ -160,6 +198,12 @@ impl LoadMatrix {
         let base = edge.index() * self.num_slots;
         (start..=end).all(|s| self.data[base + s] + amount <= capacity + CEIL_EPS)
     }
+}
+
+/// The reference peak fold: `max(0, max over the row)`. The incremental
+/// cache must stay bit-identical to this.
+fn scan_peak(row: &[f64]) -> f64 {
+    row.iter().fold(0.0_f64, |a, &b| a.max(b))
 }
 
 /// Rounds a non-negative load up to whole bandwidth units, forgiving
@@ -288,7 +332,7 @@ mod tests {
         let mut l = LoadMatrix::new(3, 2);
         l.add(EdgeId(0), 0, 1, 1.0); // mean 1.0, cap 2 → 0.5
         l.add(EdgeId(1), 0, 0, 1.0); // mean 0.5, cap 1 → 0.5
-        // edge 2 unused; cap 0 → skipped
+                                     // edge 2 unused; cap 0 → skipped
         let u = l.utilization(&[2.0, 1.0, 0.0]);
         assert_eq!(u.links, 2);
         assert!((u.min - 0.5).abs() < 1e-12);
@@ -311,6 +355,64 @@ mod tests {
         assert!(l.fits(e, 0, 3, 0.2, 1.0));
         assert!(!l.fits(e, 1, 2, 0.3, 1.0));
         assert!(l.fits(e, 1, 2, 0.3, 1.2));
+    }
+
+    /// The peak cache must be indistinguishable from rescanning the row.
+    fn assert_cache_exact(l: &LoadMatrix) {
+        for e in 0..l.num_edges() {
+            let edge = EdgeId(e as u32);
+            let base = e * l.num_slots();
+            let fresh = scan_peak(&l.data[base..base + l.num_slots()]);
+            assert_eq!(l.peak(edge).to_bits(), fresh.to_bits(), "edge {e}");
+        }
+    }
+
+    #[test]
+    fn peak_cache_tracks_adds_and_removes() {
+        let mut l = LoadMatrix::new(2, 8);
+        let e = EdgeId(0);
+        assert_cache_exact(&l);
+        l.add(e, 0, 3, 1.5);
+        assert_cache_exact(&l);
+        l.add(e, 2, 5, 0.75); // new peak at overlap
+        assert_cache_exact(&l);
+        assert_eq!(l.peak(e), 2.25);
+        l.remove(e, 2, 3, 0.75); // removes the peak holder → rescan path
+        assert_cache_exact(&l);
+        assert_eq!(l.peak(e), 1.5);
+        l.remove(e, 4, 5, 0.75); // peak untouched → fast path
+        assert_cache_exact(&l);
+        l.remove(e, 0, 3, 1.5); // back to empty
+        assert_cache_exact(&l);
+        assert_eq!(l.peak(EdgeId(1)), 0.0, "other edge untouched");
+    }
+
+    #[test]
+    fn peak_clamps_below_at_zero() {
+        // The historical fold starts at 0.0, so all-negative rows still
+        // report a zero peak; the cache must agree.
+        let mut l = LoadMatrix::new(1, 4);
+        let e = EdgeId(0);
+        l.add(e, 0, 3, 1.0);
+        l.remove(e, 0, 3, 2.0);
+        assert_eq!(l.peak(e), 0.0);
+        assert_cache_exact(&l);
+        assert_eq!(l.charged_units(e), 0);
+    }
+
+    #[test]
+    fn equality_ignores_construction_order() {
+        // Same loads reached through different add/remove histories (and
+        // hence different cache code paths) compare equal.
+        let mut a = LoadMatrix::new(1, 4);
+        let mut b = LoadMatrix::new(1, 4);
+        let e = EdgeId(0);
+        a.add(e, 0, 3, 1.0);
+        b.add(e, 0, 3, 3.0);
+        b.remove(e, 0, 3, 2.0);
+        // 1.0 vs 3.0 − 2.0: equal within f64 because both are exact.
+        assert_eq!(a, b);
+        assert_eq!(a.peak(e), b.peak(e));
     }
 
     #[test]

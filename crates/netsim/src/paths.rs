@@ -98,10 +98,7 @@ impl Path {
 
     /// Total cost under a metric.
     pub fn cost(&self, topo: &Topology, metric: PathMetric) -> f64 {
-        self.edges
-            .iter()
-            .map(|&e| metric.edge_cost(topo, e))
-            .sum()
+        self.edges.iter().map(|&e| metric.edge_cost(topo, e)).sum()
     }
 
     /// Sum of per-unit prices along the path.

@@ -205,8 +205,8 @@ pub fn geant() -> Topology {
         (16, 4),
     ];
     const NAMES: [&str; 22] = [
-        "AT", "BE", "CH", "CZ", "DE", "ES", "FR", "GR", "HR", "HU", "IE", "IL", "IT", "LU",
-        "NL", "NY", "PL", "PT", "SE", "SI", "SK", "UK",
+        "AT", "BE", "CH", "CZ", "DE", "ES", "FR", "GR", "HR", "HU", "IE", "IL", "IT", "LU", "NL",
+        "NY", "PL", "PT", "SE", "SI", "SK", "UK",
     ];
     let mut b = Topology::builder();
     let ids: Vec<NodeId> = NAMES

@@ -67,7 +67,7 @@ proptest! {
             nodes.sort();
             nodes.dedup();
             prop_assert_eq!(nodes.len(), p.nodes().len(), "loop in path");
-            prop_assert!(p.len() <= topo.num_nodes() - 1);
+            prop_assert!(p.len() < topo.num_nodes());
         }
         prop_assert!(all.len() <= k);
     }

@@ -242,7 +242,7 @@ mod tests {
     fn arrivals_spread_over_cycle() {
         let topo = topologies::b4();
         let reqs = generate(&topo, &WorkloadConfig::paper(600, 11));
-        let mut per_slot = vec![0usize; DEFAULT_SLOTS];
+        let mut per_slot = [0usize; DEFAULT_SLOTS];
         for r in &reqs {
             per_slot[r.start] += 1;
         }

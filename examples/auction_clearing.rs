@@ -30,8 +30,7 @@ fn main() -> Result<(), SolveError> {
         let verdict = match result.schedule.path_choice(id) {
             Some(j) => {
                 let path = &instance.paths(id)[j];
-                let hops: Vec<String> =
-                    path.nodes().iter().map(|n| n.to_string()).collect();
+                let hops: Vec<String> = path.nodes().iter().map(|n| n.to_string()).collect();
                 format!("WIN via {}", hops.join("→"))
             }
             None => "declined".to_string(),
@@ -47,7 +46,10 @@ fn main() -> Result<(), SolveError> {
             r.value,
         );
     }
-    println!("  ... ({} more bids not shown)", instance.num_requests().saturating_sub(20));
+    println!(
+        "  ... ({} more bids not shown)",
+        instance.num_requests().saturating_sub(20)
+    );
     println!();
     println!(
         "cleared {} of {} bids: revenue {:.2}, bandwidth cost {:.2}, profit {:.2}",

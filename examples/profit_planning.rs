@@ -42,7 +42,10 @@ fn main() -> Result<(), SolveError> {
         let m = metis(&instance, &MetisConfig::with_theta(8))?;
 
         let uplift = if serve_all_profit.abs() > 1e-9 {
-            format!("{:+.0}%", (m.evaluation.profit / serve_all_profit - 1.0) * 100.0)
+            format!(
+                "{:+.0}%",
+                (m.evaluation.profit / serve_all_profit - 1.0) * 100.0
+            )
         } else {
             "n/a".to_string()
         };

@@ -48,10 +48,7 @@ fn main() -> Result<(), SolveError> {
     // The SP Updater's trace: how profit evolved over the alternation.
     println!("\nprofit trace (solver, profit, accepted):");
     for rec in &result.history {
-        println!(
-            "  {:?}\t{:>8.2}\t{}",
-            rec.phase, rec.profit, rec.accepted
-        );
+        println!("  {:?}\t{:>8.2}\t{}", rec.phase, rec.profit, rec.accepted);
     }
     Ok(())
 }

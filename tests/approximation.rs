@@ -3,9 +3,7 @@
 
 use metis_suite::baselines::opt_rlspm;
 use metis_suite::core::chernoff::{chernoff_bound, chernoff_delta, select_mu};
-use metis_suite::core::{
-    maa, solve_blspm_relaxation, taa, MaaOptions, SpmInstance, TaaOptions,
-};
+use metis_suite::core::{maa, solve_blspm_relaxation, taa, MaaOptions, SpmInstance, TaaOptions};
 use metis_suite::lp::{IlpOptions, SolveOptions};
 use metis_suite::netsim::topologies;
 use metis_suite::workload::{generate, WorkloadConfig};
@@ -55,7 +53,7 @@ fn maa_close_to_exact_optimum() {
         assert!(opt.optimal);
         let m = maa(
             &inst,
-            &vec![true; 12],
+            &[true; 12],
             &MaaOptions {
                 seed,
                 ..MaaOptions::default()
@@ -68,7 +66,10 @@ fn maa_close_to_exact_optimum() {
     }
     // The paper's Fig. 4b observes rounding ratios below 1.2; give slack
     // for the integer ceiling on these tiny instances.
-    assert!(worst < 2.0, "worst MAA/OPT ratio {worst} is implausibly bad");
+    assert!(
+        worst < 2.0,
+        "worst MAA/OPT ratio {worst} is implausibly bad"
+    );
 }
 
 /// Theorem 6: TAA's revenue reaches the `I_B = I_S·(1−D(I_S, 1/(N+1)))`

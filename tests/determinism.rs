@@ -1,0 +1,82 @@
+//! End-to-end determinism: a fixed-seed Metis run must be bit-identical
+//! across repeated runs and across worker-thread counts, with and without
+//! warm-started LPs.
+//!
+//! Parallelism in the pipeline (MAA rounding trials, TAA candidate
+//! scoring) is structured as indexed families of independent computations
+//! reduced in index order, so the thread count can only change *when*
+//! work happens, never *what* is computed.
+
+use metis_suite::core::{metis, MaaOptions, MetisConfig, ParallelConfig, SpmInstance};
+use metis_suite::netsim::topologies;
+use metis_suite::workload::{generate, WorkloadConfig};
+
+fn b4_instance(k: usize, seed: u64) -> SpmInstance {
+    let topo = topologies::b4();
+    let requests = generate(&topo, &WorkloadConfig::paper(k, seed));
+    SpmInstance::new(topo, requests, 12, 3)
+}
+
+fn config(threads: usize, warm_start: bool) -> MetisConfig {
+    MetisConfig {
+        theta: 4,
+        warm_start,
+        parallel: ParallelConfig {
+            threads,
+            ..ParallelConfig::default()
+        },
+        maa: MaaOptions {
+            rounding_repeats: 6,
+            seed: 2024,
+            ..MaaOptions::default()
+        },
+        ..MetisConfig::default()
+    }
+}
+
+#[test]
+fn metis_identical_across_thread_counts() {
+    let inst = b4_instance(40, 7);
+    for warm_start in [false, true] {
+        let reference = metis(&inst, &config(1, warm_start)).unwrap();
+        for threads in [2, 8] {
+            let run = metis(&inst, &config(threads, warm_start)).unwrap();
+            assert_eq!(
+                run.schedule, reference.schedule,
+                "schedule differs: warm_start = {warm_start}, threads = {threads}"
+            );
+            assert_eq!(
+                run.evaluation, reference.evaluation,
+                "evaluation differs: warm_start = {warm_start}, threads = {threads}"
+            );
+            assert_eq!(
+                run.history, reference.history,
+                "history differs: warm_start = {warm_start}, threads = {threads}"
+            );
+            assert_eq!(run.rounds, reference.rounds);
+        }
+    }
+}
+
+#[test]
+fn metis_identical_across_repeated_runs() {
+    let inst = b4_instance(40, 11);
+    for warm_start in [false, true] {
+        let a = metis(&inst, &config(2, warm_start)).unwrap();
+        let b = metis(&inst, &config(2, warm_start)).unwrap();
+        assert_eq!(a.schedule, b.schedule, "warm_start = {warm_start}");
+        assert_eq!(a.evaluation, b.evaluation);
+        assert_eq!(a.history, b.history);
+    }
+}
+
+#[test]
+fn auto_thread_count_changes_nothing() {
+    // threads = 0 resolves to "all cores"; whatever that is on the host,
+    // the result must match the serial run.
+    let inst = b4_instance(25, 3);
+    let serial = metis(&inst, &config(1, false)).unwrap();
+    let auto = metis(&inst, &config(0, false)).unwrap();
+    assert_eq!(auto.schedule, serial.schedule);
+    assert_eq!(auto.history, serial.history);
+}

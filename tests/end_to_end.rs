@@ -32,7 +32,7 @@ fn every_scheduler_produces_valid_schedules() {
         ("ecoflow", ecoflow(&inst)),
         (
             "maa",
-            maa(&inst, &vec![true; 80], &MaaOptions::default())
+            maa(&inst, &[true; 80], &MaaOptions::default())
                 .unwrap()
                 .schedule,
         ),
@@ -91,7 +91,7 @@ fn exact_optimum_dominates_every_heuristic() {
 
     let eco = ecoflow(&inst).evaluate(&inst);
     let m = metis(&inst, &MetisConfig::with_theta(6)).unwrap();
-    let serve_all = maa(&inst, &vec![true; 12], &MaaOptions::default())
+    let serve_all = maa(&inst, &[true; 12], &MaaOptions::default())
         .unwrap()
         .evaluation;
 
@@ -109,7 +109,7 @@ fn opt_rlspm_is_cheapest_way_to_serve_all() {
     assert_eq!(opt.evaluation.accepted, 10);
 
     // MAA and MinCost also serve everyone; neither can be cheaper.
-    let m = maa(&inst, &vec![true; 10], &MaaOptions::default()).unwrap();
+    let m = maa(&inst, &[true; 10], &MaaOptions::default()).unwrap();
     assert!(opt.evaluation.cost <= m.evaluation.cost + 1e-6);
     let mc = mincost(&inst).evaluate(&inst);
     assert!(opt.evaluation.cost <= mc.cost + 1e-6);
@@ -137,7 +137,7 @@ fn warm_started_opt_never_loses_to_its_seed() {
 fn metis_profit_beats_current_service_mode_at_scale() {
     // The headline claim: selective acceptance beats accept-everything.
     let inst = b4_instance(300, 2);
-    let serve_all = maa(&inst, &vec![true; 300], &MaaOptions::default()).unwrap();
+    let serve_all = maa(&inst, &[true; 300], &MaaOptions::default()).unwrap();
     let serve_all_profit = serve_all.evaluation.revenue - serve_all.evaluation.cost;
     let m = metis(&inst, &MetisConfig::with_theta(8)).unwrap();
     assert!(
@@ -153,7 +153,7 @@ fn metis_profit_beats_current_service_mode_at_scale() {
 fn lp_relaxations_bracket_integral_solutions() {
     let inst = b4_instance(60, 6);
     // RL-SPM: fractional cost lower-bounds any integral serving cost.
-    let m = maa(&inst, &vec![true; 60], &MaaOptions::default()).unwrap();
+    let m = maa(&inst, &[true; 60], &MaaOptions::default()).unwrap();
     assert!(m.relaxation.cost <= m.evaluation.cost + 1e-6);
     // BL-SPM: fractional revenue upper-bounds any feasible revenue.
     let caps = vec![5.0; inst.topology().num_edges()];

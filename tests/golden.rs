@@ -1,0 +1,80 @@
+//! Golden-fixture regression test: one fixed workload, pinned outcomes.
+//!
+//! The fixture pins the full solve pipeline (workload generation → LP
+//! relaxations → rounding / derandomized walk → SP updater) on B4 with
+//! 40 requests and a fixed seed. Any change to the RNG streams, the
+//! simplex pivoting, or the alternation logic shows up here first; update
+//! the constants deliberately when such a change is intended, and say so
+//! in the commit message.
+//!
+//! The workload uses a raised bid markup (`PricedPath { 2.0, 8.0 }`):
+//! with the paper's default markup, 40 requests on the full B4 cannot
+//! outbid B4's peak-billed integer unit charges and every run pins to the
+//! degenerate zero-profit/zero-accepted outcome, which would regress
+//! nothing.
+
+use metis_suite::core::{metis, MetisConfig, SpmInstance};
+use metis_suite::netsim::topologies;
+use metis_suite::workload::{generate, ValueModel, WorkloadConfig};
+
+const K: usize = 40;
+const SEED: u64 = 2024;
+const THETA: usize = 6;
+
+/// Pinned profit of the default (cold) pipeline.
+const GOLDEN_PROFIT: f64 = 15.297028551237;
+/// Pinned accepted-request count of the default (cold) pipeline.
+const GOLDEN_ACCEPTED: usize = 35;
+/// Pinned profit with warm-started LPs (the warm pipeline happens to land
+/// on the same optima for this fixture).
+const GOLDEN_WARM_PROFIT: f64 = 15.297028551237;
+/// Pinned accepted-request count with warm-started LPs.
+const GOLDEN_WARM_ACCEPTED: usize = 35;
+
+const TOL: f64 = 1e-6;
+
+fn fixture() -> SpmInstance {
+    let topo = topologies::b4();
+    let cfg = WorkloadConfig {
+        num_requests: K,
+        value_model: ValueModel::PricedPath {
+            low: 2.0,
+            high: 8.0,
+        },
+        seed: SEED,
+        ..WorkloadConfig::default()
+    };
+    let requests = generate(&topo, &cfg);
+    SpmInstance::new(topo, requests, 12, 3)
+}
+
+#[test]
+fn golden_b4_forty_requests() {
+    let inst = fixture();
+    let cold = metis(&inst, &MetisConfig::with_theta(THETA)).unwrap();
+    let warm = metis(
+        &inst,
+        &MetisConfig {
+            warm_start: true,
+            ..MetisConfig::with_theta(THETA)
+        },
+    )
+    .unwrap();
+    assert!(
+        (cold.evaluation.profit - GOLDEN_PROFIT).abs() <= TOL,
+        "cold profit {} != pinned {GOLDEN_PROFIT}",
+        cold.evaluation.profit
+    );
+    assert_eq!(cold.evaluation.accepted, GOLDEN_ACCEPTED);
+    assert!(
+        (warm.evaluation.profit - GOLDEN_WARM_PROFIT).abs() <= TOL,
+        "warm profit {} != pinned {GOLDEN_WARM_PROFIT}",
+        warm.evaluation.profit
+    );
+    assert_eq!(warm.evaluation.accepted, GOLDEN_WARM_ACCEPTED);
+    // Cross-checks that hold whatever the pinned numbers are.
+    assert!(
+        (cold.evaluation.profit - (cold.evaluation.revenue - cold.evaluation.cost)).abs() < 1e-9
+    );
+    assert!(cold.evaluation.profit >= 0.0 && warm.evaluation.profit >= 0.0);
+}

@@ -6,14 +6,19 @@ use proptest::prelude::*;
 
 use metis_suite::baselines::{amoeba, ecoflow, ecoflow_with, mincost, EcoflowCostModel};
 use metis_suite::core::{maa, metis, taa, MaaOptions, MetisConfig, SpmInstance, TaaOptions};
-use metis_suite::netsim::{Region, Topology};
+use metis_suite::netsim::{ceil_units, EdgeId, LoadMatrix, Region, Topology, CEIL_EPS};
 use metis_suite::workload::{generate, Request, RequestId, ValueModel, WorkloadConfig};
 
 /// A random strongly-connected topology: a ring over `n` nodes plus
 /// `extra` random chords, with prices drawn from the region table.
 fn arb_topology() -> impl Strategy<Value = Topology> {
-    (3usize..8, 0usize..6, proptest::collection::vec(0u8..5, 0..6), any::<u64>()).prop_map(
-        |(n, extra, chord_seeds, salt)| {
+    (
+        3usize..8,
+        0usize..6,
+        proptest::collection::vec(0u8..5, 0..6),
+        any::<u64>(),
+    )
+        .prop_map(|(n, extra, chord_seeds, salt)| {
             let regions = [
                 Region::NorthAmerica,
                 Region::Europe,
@@ -42,8 +47,7 @@ fn arb_topology() -> impl Strategy<Value = Topology> {
                 }
             }
             b.build()
-        },
-    )
+        })
 }
 
 fn arb_instance() -> impl Strategy<Value = SpmInstance> {
@@ -132,6 +136,89 @@ proptest! {
         // The recorded best dominates every history entry.
         for rec in &m.history {
             prop_assert!(m.evaluation.profit >= rec.profit - 1e-9);
+        }
+    }
+
+    #[test]
+    fn load_matrix_incremental_matches_rebuild(
+        ops in proptest::collection::vec(
+            (0usize..4, 0usize..12, 0usize..12, 0.01f64..3.0, any::<bool>()), 1..40),
+    ) {
+        const EDGES: usize = 4;
+        const SLOTS: usize = 12;
+        let mut live = LoadMatrix::new(EDGES, SLOTS);
+        // Surviving add operations, in application order.
+        let mut surviving: Vec<(usize, usize, usize, f64)> = Vec::new();
+        for (e, a, b, amt, is_remove) in ops {
+            let (start, end) = if a <= b { (a, b) } else { (b, a) };
+            if is_remove && !surviving.is_empty() {
+                // Undo a previously applied add instead of a fresh one.
+                let (pe, ps, pend, pamt) = surviving.swap_remove(e % surviving.len());
+                live.remove(EdgeId(pe as u32), ps, pend, pamt);
+            } else {
+                live.add(EdgeId(e as u32), start, end, amt);
+                surviving.push((e, start, end, amt));
+            }
+
+            // Invariant A (exact): the cached peak is bit-identical to a
+            // scan of the live cells, after every single operation.
+            for edge in 0..EDGES {
+                let id = EdgeId(edge as u32);
+                let scan = (0..SLOTS)
+                    .map(|t| live.get(id, t))
+                    .fold(0.0_f64, f64::max);
+                prop_assert_eq!(
+                    live.peak(id).to_bits(),
+                    scan.to_bits(),
+                    "edge {} cache {} != scan {}",
+                    edge,
+                    live.peak(id),
+                    scan
+                );
+                prop_assert_eq!(live.charged_units(id), ceil_units(scan));
+            }
+        }
+
+        // Invariant B (tolerant): the final state matches a freshly
+        // rebuilt matrix holding only the surviving adds. (Add/remove
+        // pairs cancel only up to float rounding, hence the epsilon.)
+        let mut rebuilt = LoadMatrix::new(EDGES, SLOTS);
+        for &(e, start, end, amt) in &surviving {
+            rebuilt.add(EdgeId(e as u32), start, end, amt);
+        }
+        for edge in 0..EDGES {
+            let id = EdgeId(edge as u32);
+            prop_assert!((live.peak(id) - rebuilt.peak(id)).abs() < 1e-9);
+            prop_assert_eq!(live.charged_units(id), rebuilt.charged_units(id));
+            for t in 0..SLOTS {
+                prop_assert!((live.get(id, t) - rebuilt.get(id, t)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn fits_never_admits_a_violation(
+        ops in proptest::collection::vec(
+            (0usize..2, 0usize..12, 0usize..12, 0.01f64..2.0), 1..30),
+        cap in 0.5f64..6.0,
+    ) {
+        // Admission-control invariant relied on by TAA and Amoeba: only
+        // add load that `fits`, and no cell ever exceeds the capacity
+        // (beyond the documented CEIL_EPS slack).
+        let mut load = LoadMatrix::new(2, 12);
+        for (e, a, b, amt) in ops {
+            let (start, end) = if a <= b { (a, b) } else { (b, a) };
+            let id = EdgeId(e as u32);
+            if load.fits(id, start, end, amt, cap) {
+                load.add(id, start, end, amt);
+            }
+        }
+        for e in 0..2u32 {
+            let id = EdgeId(e);
+            for t in 0..12 {
+                prop_assert!(load.get(id, t) <= cap + CEIL_EPS);
+            }
+            prop_assert!(load.peak(id) <= cap + CEIL_EPS);
         }
     }
 

@@ -1,0 +1,284 @@
+//! Offline mini benchmark harness.
+//!
+//! Mirrors the slice of the `criterion` 0.5 API the workspace's benches
+//! use — [`Criterion::benchmark_group`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkGroup::bench_function`]/[`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], [`BenchmarkId`], [`black_box`], and the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! warmup-then-sample measurement loop and plain-text reporting
+//! (median, min, max per benchmark). There are no plots, no statistics
+//! beyond the quantiles, and no baseline persistence; benches here are
+//! for relative comparisons printed to stdout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    /// Target time to spend measuring each benchmark.
+    measurement_time: Duration,
+    /// Default number of samples per benchmark.
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_secs(3),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI-style configuration. This mini harness ignores the
+    /// arguments (they exist so `criterion_main!` can stay drop-in).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== {name} ==");
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size,
+            measurement_time,
+        }
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` form.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the target measurement time per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let stats = run_samples(self.sample_size, self.measurement_time, |b| f(b));
+        report(&self.name, &id.id, &stats);
+        self
+    }
+
+    /// Benchmarks a closure that borrows a fixed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let stats = run_samples(self.sample_size, self.measurement_time, |b| f(b, input));
+        report(&self.name, &id.id, &stats);
+        self
+    }
+
+    /// Ends the group. (No-op beyond matching the upstream API.)
+    pub fn finish(self) {}
+}
+
+/// Timing handle passed to benchmark closures.
+pub struct Bencher {
+    /// Iterations the routine should run this sample.
+    iters: u64,
+    /// Measured wall time for those iterations.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `self.iters` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Per-benchmark nanosecond quantiles.
+struct Stats {
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+fn run_samples<F: FnMut(&mut Bencher)>(
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) -> Stats {
+    // Warmup: one untimed run, also used to size per-sample iteration
+    // counts so the whole benchmark lands near `measurement_time`.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let once = b.elapsed.max(Duration::from_nanos(1));
+    let budget_per_sample = measurement_time.as_secs_f64() / sample_size as f64;
+    let iters = (budget_per_sample / once.as_secs_f64()).clamp(1.0, 1e6) as u64;
+
+    let mut samples_ns = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+    Stats {
+        median_ns: samples_ns[samples_ns.len() / 2],
+        min_ns: samples_ns[0],
+        max_ns: *samples_ns.last().unwrap(),
+    }
+}
+
+fn human(ns: f64) -> String {
+    let mut out = String::new();
+    if ns < 1e3 {
+        let _ = write!(out, "{ns:.1} ns");
+    } else if ns < 1e6 {
+        let _ = write!(out, "{:.2} µs", ns / 1e3);
+    } else if ns < 1e9 {
+        let _ = write!(out, "{:.2} ms", ns / 1e6);
+    } else {
+        let _ = write!(out, "{:.3} s", ns / 1e9);
+    }
+    out
+}
+
+fn report(group: &str, id: &str, stats: &Stats) {
+    println!(
+        "{group}/{id:<28} median {:>12}   [{} .. {}]",
+        human(stats.median_ns),
+        human(stats.min_ns),
+        human(stats.max_ns),
+    );
+}
+
+/// Declares a benchmark group function list, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(20),
+            sample_size: 3,
+        };
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn human_units() {
+        assert!(human(12.0).contains("ns"));
+        assert!(human(12_000.0).contains("µs"));
+        assert!(human(12_000_000.0).contains("ms"));
+        assert!(human(12_000_000_000.0).contains('s'));
+    }
+}

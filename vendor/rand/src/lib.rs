@@ -1,0 +1,411 @@
+//! Vendored, dependency-free subset of the `rand` 0.8 API.
+//!
+//! This workspace builds in offline environments with no crates.io
+//! access, so the handful of `rand` features it relies on are
+//! reimplemented here: the [`RngCore`]/[`Rng`]/[`SeedableRng`] traits,
+//! uniform ranges (half-open and inclusive), and the `Standard`
+//! distribution for `f64`. The sampling algorithms are deliberately
+//! simple and deterministic:
+//!
+//! * integers use the widening-multiply range reduction
+//!   (`(x * span) >> bits`), which is bias-free enough for simulation
+//!   workloads and has no data-dependent rejection loop;
+//! * `f64` uses the top 53 bits of a `u64`, giving the usual
+//!   `[0, 1)` grid of spacing `2^-53`.
+//!
+//! The streams are **not** bit-compatible with upstream `rand`; they only
+//! promise to be deterministic per seed, which is what the workspace's
+//! reproducibility guarantees are built on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Low-level source of random bits.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator constructible from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// Seed byte array type (for example `[u8; 32]`).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64 (the same
+    /// construction `rand_core` uses) and builds the generator.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut s = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// User-facing sampling helpers layered over [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples from the [`Standard`](distributions::Standard)
+    /// distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Samples a bool with probability `p` of being `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod distributions {
+    //! The distribution traits and the uniform distribution.
+
+    use super::RngCore;
+
+    /// Types that can produce samples of `T`.
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution of a type: uniform bits for integers,
+    /// uniform `[0, 1)` for floats.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            uniform::unit_f64(rng.next_u64())
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    macro_rules! standard_int {
+        ($($t:ty => $m:ident),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.$m() as $t
+                }
+            }
+        )*};
+    }
+    standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32,
+                  u64 => next_u64, usize => next_u64,
+                  i8 => next_u32, i16 => next_u32, i32 => next_u32,
+                  i64 => next_u64, isize => next_u64);
+
+    /// Uniform distribution over a range, sampled repeatedly.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+        inclusive: bool,
+    }
+
+    impl<T: uniform::SampleUniform + Copy + PartialOrd> Uniform<T> {
+        /// Uniform over `[low, high)`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `low >= high`.
+        pub fn new(low: T, high: T) -> Self {
+            assert!(low < high, "Uniform::new called with empty range");
+            Uniform {
+                low,
+                high,
+                inclusive: false,
+            }
+        }
+
+        /// Uniform over `[low, high]`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `low > high`.
+        pub fn new_inclusive(low: T, high: T) -> Self {
+            assert!(
+                low <= high,
+                "Uniform::new_inclusive called with empty range"
+            );
+            Uniform {
+                low,
+                high,
+                inclusive: true,
+            }
+        }
+    }
+
+    impl<T: uniform::SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            if self.inclusive {
+                T::sample_inclusive(&self.low, &self.high, rng)
+            } else {
+                T::sample_half_open(&self.low, &self.high, rng)
+            }
+        }
+    }
+
+    pub mod uniform {
+        //! Range-sampling machinery behind [`Rng::gen_range`](crate::Rng).
+
+        use crate::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Converts 64 random bits into `[0, 1)` with 53-bit precision.
+        pub(crate) fn unit_f64(bits: u64) -> f64 {
+            (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Converts 64 random bits into `[0, 1]` with 53-bit precision.
+        pub(crate) fn unit_f64_inclusive(bits: u64) -> f64 {
+            (bits >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64)
+        }
+
+        /// Types that can be drawn uniformly from a range.
+        pub trait SampleUniform: Sized {
+            /// Uniform sample from `[low, high)`.
+            fn sample_half_open<R: RngCore + ?Sized>(low: &Self, high: &Self, rng: &mut R) -> Self;
+            /// Uniform sample from `[low, high]`.
+            fn sample_inclusive<R: RngCore + ?Sized>(low: &Self, high: &Self, rng: &mut R) -> Self;
+        }
+
+        macro_rules! impl_uniform_int {
+            ($($t:ty as $wide:ty),*) => {$(
+                impl SampleUniform for $t {
+                    fn sample_half_open<R: RngCore + ?Sized>(
+                        low: &Self,
+                        high: &Self,
+                        rng: &mut R,
+                    ) -> Self {
+                        assert!(low < high, "cannot sample empty range");
+                        let span = (*high as $wide).wrapping_sub(*low as $wide) as u64;
+                        let draw = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                        ((*low as $wide).wrapping_add(draw as $wide)) as $t
+                    }
+
+                    fn sample_inclusive<R: RngCore + ?Sized>(
+                        low: &Self,
+                        high: &Self,
+                        rng: &mut R,
+                    ) -> Self {
+                        assert!(low <= high, "cannot sample empty range");
+                        let span = (*high as $wide).wrapping_sub(*low as $wide) as u64;
+                        if span == u64::MAX {
+                            return rng.next_u64() as $t;
+                        }
+                        let draw =
+                            ((rng.next_u64() as u128 * (span as u128 + 1)) >> 64) as u64;
+                        ((*low as $wide).wrapping_add(draw as $wide)) as $t
+                    }
+                }
+            )*};
+        }
+        impl_uniform_int!(
+            u8 as u64,
+            u16 as u64,
+            u32 as u64,
+            u64 as u64,
+            usize as u64,
+            i8 as i64,
+            i16 as i64,
+            i32 as i64,
+            i64 as i64,
+            isize as i64
+        );
+
+        impl SampleUniform for f64 {
+            fn sample_half_open<R: RngCore + ?Sized>(low: &Self, high: &Self, rng: &mut R) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                let u = unit_f64(rng.next_u64());
+                let v = low + u * (high - low);
+                // Floating-point rounding can land exactly on `high`.
+                if v >= *high {
+                    // Nudge back inside the half-open interval.
+                    f64::max(*low, *high - (*high - *low) * f64::EPSILON)
+                } else {
+                    v
+                }
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(low: &Self, high: &Self, rng: &mut R) -> Self {
+                assert!(low <= high, "cannot sample empty range");
+                let u = unit_f64_inclusive(rng.next_u64());
+                (low + u * (high - low)).clamp(*low, *high)
+            }
+        }
+
+        impl SampleUniform for f32 {
+            fn sample_half_open<R: RngCore + ?Sized>(low: &Self, high: &Self, rng: &mut R) -> Self {
+                f64::sample_half_open(&(*low as f64), &(*high as f64), rng) as f32
+            }
+
+            fn sample_inclusive<R: RngCore + ?Sized>(low: &Self, high: &Self, rng: &mut R) -> Self {
+                f64::sample_inclusive(&(*low as f64), &(*high as f64), rng) as f32
+            }
+        }
+
+        /// Range types acceptable to [`Rng::gen_range`](crate::Rng).
+        pub trait SampleRange<T> {
+            /// Draws one sample from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_half_open(&self.start, &self.end, rng)
+            }
+        }
+
+        impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                T::sample_inclusive(self.start(), self.end(), rng)
+            }
+        }
+    }
+
+    pub use uniform::SampleUniform;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::*;
+
+    struct Lcg(u64);
+
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn f64_standard_in_unit_interval() {
+        let mut rng = Lcg(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = Lcg(3);
+        for _ in 0..10_000 {
+            let a = rng.gen_range(5usize..17);
+            assert!((5..17).contains(&a));
+            let b = rng.gen_range(-2.5f64..=2.5);
+            assert!((-2.5..=2.5).contains(&b));
+            let c = rng.gen_range(0.0f64..1e-9);
+            assert!((0.0..1e-9).contains(&c));
+        }
+    }
+
+    #[test]
+    fn uniform_distribution_bounds() {
+        let mut rng = Lcg(11);
+        let nodes = Uniform::new(0, 12u32);
+        let rates = Uniform::new_inclusive(0.1f64, 5.0);
+        for _ in 0..10_000 {
+            assert!(nodes.sample(&mut rng) < 12);
+            let r = rates.sample(&mut rng);
+            assert!((0.1..=5.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_span() {
+        // The widening multiply must reach both ends of small spans.
+        let mut rng = Lcg(1);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn fill_bytes_fills_every_byte() {
+        let mut rng = Lcg(9);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

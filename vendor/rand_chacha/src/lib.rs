@@ -1,0 +1,166 @@
+//! Vendored ChaCha-based RNG for offline builds.
+//!
+//! Implements the ChaCha stream cipher keystream (Bernstein 2008) as a
+//! random-number generator, matching the small slice of the
+//! `rand_chacha` 0.3 API this workspace uses: [`ChaCha12Rng`],
+//! [`ChaCha8Rng`], [`ChaCha20Rng`], and the `rand_core` re-exports.
+//!
+//! Output is a genuine ChaCha keystream over a 256-bit key (little-endian
+//! words, 64-bit block counter, zero nonce), so streams have the quality
+//! expected of ChaCha. Word order within a block follows the natural
+//! state layout; the workspace only relies on per-seed determinism, not
+//! byte-compatibility with upstream `rand_chacha`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+pub mod rand_core {
+    //! Re-exports mirroring `rand_chacha::rand_core`.
+    pub use rand::{RngCore, SeedableRng};
+}
+
+/// ChaCha keystream generator with a configurable number of
+/// double-rounds (`DR = 4, 6, 10` for ChaCha8/12/20).
+#[derive(Clone, Debug)]
+pub struct ChaChaRng<const DR: usize> {
+    /// Words 0..4 constants, 4..12 key, 12..14 counter, 14..16 nonce.
+    state: [u32; 16],
+    /// Current keystream block.
+    block: [u32; 16],
+    /// Next unread word index in `block`; 16 means exhausted.
+    cursor: usize,
+}
+
+impl<const DR: usize> ChaChaRng<DR> {
+    const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+    fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(16);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(12);
+        state[a] = state[a].wrapping_add(state[b]);
+        state[d] = (state[d] ^ state[a]).rotate_left(8);
+        state[c] = state[c].wrapping_add(state[d]);
+        state[b] = (state[b] ^ state[c]).rotate_left(7);
+    }
+
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..DR {
+            // Column round.
+            Self::quarter_round(&mut working, 0, 4, 8, 12);
+            Self::quarter_round(&mut working, 1, 5, 9, 13);
+            Self::quarter_round(&mut working, 2, 6, 10, 14);
+            Self::quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            Self::quarter_round(&mut working, 0, 5, 10, 15);
+            Self::quarter_round(&mut working, 1, 6, 11, 12);
+            Self::quarter_round(&mut working, 2, 7, 8, 13);
+            Self::quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, (w, s)) in self
+            .block
+            .iter_mut()
+            .zip(working.iter().zip(self.state.iter()))
+        {
+            *out = w.wrapping_add(*s);
+        }
+        // 64-bit little-endian block counter in words 12..14.
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.cursor = 0;
+    }
+
+    fn next_word(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.cursor];
+        self.cursor += 1;
+        word
+    }
+}
+
+impl<const DR: usize> RngCore for ChaChaRng<DR> {
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl<const DR: usize> SeedableRng for ChaChaRng<DR> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&Self::CONSTANTS);
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        // Counter and nonce start at zero.
+        ChaChaRng {
+            state,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+/// ChaCha with 8 rounds (4 double-rounds).
+pub type ChaCha8Rng = ChaChaRng<4>;
+/// ChaCha with 12 rounds (6 double-rounds).
+pub type ChaCha12Rng = ChaChaRng<6>;
+/// ChaCha with 20 rounds (10 double-rounds).
+pub type ChaCha20Rng = ChaChaRng<10>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha12Rng::seed_from_u64(42);
+        let mut b = ChaCha12Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChaCha12Rng::seed_from_u64(1);
+        let mut b = ChaCha12Rng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn clone_preserves_stream_position() {
+        let mut a = ChaCha12Rng::seed_from_u64(9);
+        for _ in 0..7 {
+            a.next_u32();
+        }
+        let mut b = a.clone();
+        for _ in 0..40 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_floats_look_uniform() {
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+}

@@ -1,0 +1,12 @@
+//! Offline serde facade.
+//!
+//! Re-exports the no-op [`Serialize`]/[`Deserialize`] derive macros so
+//! `use serde::{Serialize, Deserialize};` and
+//! `#[derive(serde::Serialize)]` keep compiling in offline builds. No
+//! serialization traits or runtime machinery are provided — the
+//! workspace's only functional serialization lives in the bench
+//! binary's hand-rolled JSON module.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,22 @@
+//! No-op `Serialize`/`Deserialize` derives for offline builds.
+//!
+//! The workspace derives these traits on many types but (outside the
+//! bench binary, which uses a hand-rolled JSON module instead) never
+//! calls serde's trait methods. These derives accept the syntax —
+//! including `#[serde(...)]` helper attributes — and expand to nothing,
+//! which keeps every `#[derive(Serialize, Deserialize)]` compiling
+//! without the real serde dependency tree.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
