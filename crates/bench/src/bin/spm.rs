@@ -351,12 +351,29 @@ impl SolverOut {
     }
 }
 
+/// Counters over [`metis_core::MetisResult::incidents`]: contained solver
+/// failures observed (and survived) during the run.
+struct IncidentsOut {
+    failed_rounds: usize,
+    warm_retries: usize,
+}
+
+impl IncidentsOut {
+    fn to_json(&self) -> Json {
+        obj([
+            ("failed_rounds", self.failed_rounds.into()),
+            ("warm_retries", self.warm_retries.into()),
+        ])
+    }
+}
+
 struct Output {
     network: String,
     requests: usize,
     seed: u64,
     theta: usize,
     metis: SolverOut,
+    incidents: IncidentsOut,
     comparisons: Vec<SolverOut>,
     decisions: Vec<DecisionOut>,
 }
@@ -369,6 +386,7 @@ impl Output {
             ("seed", self.seed.into()),
             ("theta", self.theta.into()),
             ("metis", self.metis.to_json()),
+            ("incidents", self.incidents.to_json()),
             (
                 "comparisons",
                 Json::Arr(self.comparisons.iter().map(SolverOut::to_json).collect()),
@@ -499,6 +517,10 @@ fn main() {
         seed: scenario.workload.seed,
         theta: scenario.theta,
         metis: solver_out("metis", &result.evaluation),
+        incidents: IncidentsOut {
+            failed_rounds: result.failed_rounds(),
+            warm_retries: result.warm_retries(),
+        },
         comparisons,
         decisions,
     };
@@ -514,6 +536,12 @@ fn main() {
             "metis: profit {:.2} (revenue {:.2} − cost {:.2}), accepted {}/{}",
             out.metis.profit, out.metis.revenue, out.metis.cost, out.metis.accepted, out.requests
         );
+        if out.incidents.failed_rounds > 0 || out.incidents.warm_retries > 0 {
+            println!(
+                "incidents: {} failed round(s), {} warm retry(ies) — run degraded but completed",
+                out.incidents.failed_rounds, out.incidents.warm_retries
+            );
+        }
         for c in &out.comparisons {
             println!(
                 "{:>24}: profit {:>9.2}, accepted {:>5}",

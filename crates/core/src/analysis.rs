@@ -86,7 +86,7 @@ pub struct ScheduleAnalysis {
 /// let analysis = analyze(&instance, &result.schedule);
 /// let attributed: f64 = analysis.requests.iter().map(|r| r.attributed_cost).sum();
 /// assert!((attributed - analysis.cost).abs() < 1e-6); // exact in aggregate
-/// # Ok::<(), metis_lp::SolveError>(())
+/// # Ok::<(), metis_core::MetisError>(())
 /// ```
 pub fn analyze(instance: &SpmInstance, schedule: &Schedule) -> ScheduleAnalysis {
     let topo = instance.topology();

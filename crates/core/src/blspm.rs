@@ -66,7 +66,9 @@ pub struct TaaResult {
     /// The LP relaxation behind the derandomization.
     pub relaxation: BlspmRelaxation,
     /// The scaling factor `μ` chosen from inequality (6); `None` when the
-    /// network has no positive capacity.
+    /// network has no positive capacity, or when capacity is so small
+    /// that no `μ` satisfies the inequality (the round then declines
+    /// everything rather than round with a guarantee it does not have).
     pub mu: Option<f64>,
 }
 
@@ -265,7 +267,8 @@ fn taa_from_relaxation(
         None
     };
     let Some(mu) = mu else {
-        // No capacity anywhere: decline everything.
+        // No capacity anywhere, or so little that inequality (6) admits
+        // no μ: decline everything rather than round without a guarantee.
         let schedule = Schedule::decline_all(k);
         let evaluation = schedule.evaluate(instance);
         return TaaResult {
@@ -734,6 +737,21 @@ mod tests {
         assert_eq!(res.schedule.num_accepted(), 0);
         assert_eq!(res.mu, None);
         assert_eq!(res.evaluation.revenue, 0.0);
+    }
+
+    #[test]
+    fn tiny_capacity_declines_all_without_mu() {
+        // Capacity small enough that select_mu finds no valid scaling
+        // factor (normalized c below ≈ 0.231 for T=12, N=38): TAA must
+        // fall back to decline-all instead of rounding with the bogus
+        // Some(1e-12) factor the old select_mu returned.
+        let inst = instance(10, 3);
+        let caps = vec![0.05; inst.topology().num_edges()];
+        let res = taa(&inst, &caps, &TaaOptions::default()).unwrap();
+        assert_eq!(res.mu, None, "no μ satisfies inequality (6) at c ≈ 0.1");
+        assert_eq!(res.schedule.num_accepted(), 0);
+        assert_eq!(res.evaluation.revenue, 0.0);
+        assert!(res.evaluation.profit >= 0.0);
     }
 
     #[test]

@@ -63,7 +63,10 @@ pub fn chernoff_delta(m: f64, x: f64) -> f64 {
 ///
 /// `c` is the smallest positive (normalized) link capacity, `t_slots` the
 /// number of slots, `n_edges` the number of edges. Returns `None` when
-/// `c ≤ 0` (no capacity anywhere).
+/// `c ≤ 0` (no capacity anywhere) or when even a vanishing `μ` violates
+/// the inequality (`ln B(μc, (1−μ)/μ) = c(1−μ+ln μ)` stays above the
+/// target when `c` is tiny), in which case no `μ` carries the paper's
+/// probability guarantee and TAA must fall back to declining the round.
 pub fn select_mu(c: f64, t_slots: usize, n_edges: usize) -> Option<f64> {
     if c <= 0.0 {
         return None;
@@ -80,8 +83,10 @@ pub fn select_mu(c: f64, t_slots: usize, n_edges: usize) -> Option<f64> {
     let mut lo = 1e-12;
     if !ok(lo) {
         // Even a vanishing μ fails: capacity is too small relative to the
-        // constraint count; fall back to an arbitrarily tiny factor.
-        return Some(lo);
+        // constraint count, so no scaling factor satisfies inequality (6).
+        // Returning a bogus tiny μ here would let TAA round with a
+        // guarantee it does not have.
+        return None;
     }
     let mut hi = 1.0 - 1e-9;
     for _ in 0..200 {
@@ -167,5 +172,21 @@ mod tests {
     fn mu_none_without_capacity() {
         assert!(select_mu(0.0, 12, 38).is_none());
         assert!(select_mu(-1.0, 12, 38).is_none());
+    }
+
+    #[test]
+    fn mu_none_when_capacity_below_guarantee_threshold() {
+        // ln B(μc, (1−μ)/μ) = c(1−μ+ln μ); at μ = 1e-12 that is ≈ −26.6c,
+        // and the target for T=12, N=38 is ln(1/468) ≈ −6.15, so c below
+        // ≈ 0.231 admits no valid μ at all. The old code returned
+        // Some(1e-12) here — a rounding probability with no guarantee.
+        assert_eq!(select_mu(0.1, 12, 38), None);
+        assert_eq!(select_mu(0.01, 12, 38), None);
+
+        // Just above the threshold a μ exists again, and it satisfies
+        // inequality (6) for real.
+        let mu = select_mu(0.3, 12, 38).expect("c = 0.3 is above threshold");
+        let target = 1.0 / (12.0 * 39.0);
+        assert!(chernoff_bound(mu * 0.3, (1.0 - mu) / mu) < target);
     }
 }

@@ -1,0 +1,182 @@
+//! Error taxonomy for the Metis pipeline.
+//!
+//! Two failure families exist:
+//!
+//! * [`InstanceError`] — the *problem statement* is malformed (invalid
+//!   request fields, disconnected endpoints, bad subset indices). These
+//!   are caller bugs or bad input data; nothing downstream can recover
+//!   from them, so they abort instance construction.
+//! * [`metis_lp::SolveError`] — an LP/MILP *solve* broke (numerical
+//!   singularity, iteration limits, spurious infeasibility). These are
+//!   transient component failures; the framework contains them by
+//!   retrying, skipping the affected round or epoch, and recording an
+//!   incident (see [`crate::Incident`]) rather than aborting the run.
+//!
+//! [`MetisError`] is the union the public entry points return.
+
+use std::error::Error;
+use std::fmt;
+
+use metis_lp::SolveError;
+use metis_netsim::NodeId;
+use metis_workload::RequestId;
+
+/// Why an [`crate::SpmInstance`] could not be built.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum InstanceError {
+    /// A request failed [`metis_workload::Request::validate`]: equal or
+    /// out-of-range endpoints, inverted or out-of-range slots, or a
+    /// non-finite / non-positive rate or value. `reason` is the
+    /// validator's human-readable description.
+    InvalidRequest {
+        /// The offending request.
+        id: RequestId,
+        /// The validator's description of the first problem found.
+        reason: String,
+    },
+    /// A request's endpoints have no connecting path in the topology.
+    DisconnectedEndpoints {
+        /// The offending request.
+        id: RequestId,
+        /// Its source data center.
+        src: NodeId,
+        /// Its destination data center.
+        dst: NodeId,
+    },
+    /// The billing cycle has zero slots.
+    NoSlots,
+    /// A subset index exceeds the instance's request count.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The number of requests in the instance.
+        len: usize,
+    },
+    /// A subset index appears more than once.
+    DuplicateIndex {
+        /// The repeated index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for InstanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstanceError::InvalidRequest { reason, .. } => {
+                write!(f, "invalid request: {reason}")
+            }
+            InstanceError::DisconnectedEndpoints { id, src, dst } => {
+                write!(f, "request {id} endpoints are disconnected ({src} → {dst})")
+            }
+            InstanceError::NoSlots => f.write_str("need at least one slot"),
+            InstanceError::IndexOutOfRange { index, len } => {
+                write!(f, "request index {index} out of range ({len} requests)")
+            }
+            InstanceError::DuplicateIndex { index } => {
+                write!(f, "request index {index} repeated")
+            }
+        }
+    }
+}
+
+impl Error for InstanceError {}
+
+/// Any failure a Metis entry point ([`crate::metis`],
+/// [`crate::online_metis`], and their fault-injecting variants) can
+/// surface.
+///
+/// Solver failures inside the alternation are *contained* — retried,
+/// skipped, and recorded as [`crate::Incident`]s — so in practice this
+/// error is only returned when containment is impossible: a malformed
+/// instance, or a solve failure outside the protected alternation loop.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum MetisError {
+    /// An LP/MILP solve failed where no degradation path exists.
+    Solve(SolveError),
+    /// The problem instance itself is malformed.
+    Instance(InstanceError),
+}
+
+impl fmt::Display for MetisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetisError::Solve(e) => write!(f, "solver failure: {e}"),
+            MetisError::Instance(e) => write!(f, "instance error: {e}"),
+        }
+    }
+}
+
+impl Error for MetisError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MetisError::Solve(e) => Some(e),
+            MetisError::Instance(e) => Some(e),
+        }
+    }
+}
+
+impl From<SolveError> for MetisError {
+    fn from(e: SolveError) -> Self {
+        MetisError::Solve(e)
+    }
+}
+
+impl From<InstanceError> for MetisError {
+    fn from(e: InstanceError) -> Self {
+        MetisError::Instance(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_keep_legacy_substrings() {
+        // The panicking constructor wrappers format these errors; the
+        // messages must keep the substrings older callers matched on.
+        let invalid = InstanceError::InvalidRequest {
+            id: RequestId(3),
+            reason: "r3: source equals destination".into(),
+        };
+        assert!(invalid.to_string().contains("invalid request"));
+
+        let disc = InstanceError::DisconnectedEndpoints {
+            id: RequestId(1),
+            src: NodeId(0),
+            dst: NodeId(2),
+        };
+        assert!(disc.to_string().contains("endpoints are disconnected"));
+
+        assert!(InstanceError::NoSlots
+            .to_string()
+            .contains("at least one slot"));
+        assert!(InstanceError::IndexOutOfRange { index: 7, len: 3 }
+            .to_string()
+            .contains("request index 7 out of range"));
+        assert!(InstanceError::DuplicateIndex { index: 4 }
+            .to_string()
+            .contains("request index 4 repeated"));
+    }
+
+    #[test]
+    fn metis_error_wraps_and_converts() {
+        let s: MetisError = SolveError::Singular.into();
+        assert_eq!(s, MetisError::Solve(SolveError::Singular));
+        assert!(s.to_string().contains("singular"));
+        assert!(Error::source(&s).is_some());
+
+        let i: MetisError = InstanceError::NoSlots.into();
+        assert!(matches!(i, MetisError::Instance(InstanceError::NoSlots)));
+        assert!(i.to_string().contains("instance error"));
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn check<T: Error + Send + Sync + 'static>() {}
+        check::<MetisError>();
+        check::<InstanceError>();
+    }
+}

@@ -12,6 +12,8 @@ use serde::{Deserialize, Serialize};
 use metis_lp::SolveError;
 
 use crate::blspm::{taa, taa_with_solver, BlspmWarmSolver, TaaOptions};
+use crate::error::MetisError;
+use crate::faults::FaultPlan;
 use crate::instance::SpmInstance;
 use crate::limiter::LimiterRule;
 use crate::parallel::ParallelConfig;
@@ -56,7 +58,7 @@ impl MetisConfig {
 }
 
 /// Which solver produced an iteration's schedule.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Phase {
     /// RL-SPM Solver (MAA).
     Maa,
@@ -75,6 +77,47 @@ pub struct IterationRecord {
     pub accepted: usize,
 }
 
+/// One contained failure observed during a run.
+///
+/// Incidents never abort the run: the framework records what went wrong
+/// and degrades (retries a solve cold, skips a round's update, or skips
+/// a whole online epoch) while the SP Updater keeps the best-so-far
+/// schedule. `round` is 0 for the initialization MAA and `1..=θ` for the
+/// alternation rounds; online epochs use their own `epoch` index.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum Incident {
+    /// A solve failed (after any retry); the round's update was skipped
+    /// and the alternation continued from the best-so-far schedule.
+    SolveFailed {
+        /// The phase whose solve failed.
+        phase: Phase,
+        /// The alternation round (0 = initialization).
+        round: usize,
+        /// The final error after retries.
+        error: SolveError,
+    },
+    /// A warm-started solve failed and was retried from a cold basis.
+    WarmRetry {
+        /// The phase whose warm solve failed.
+        phase: Phase,
+        /// The alternation round (0 = initialization).
+        round: usize,
+        /// The warm attempt's error.
+        error: SolveError,
+    },
+    /// An online epoch's whole run failed; its requests were declined
+    /// and the remaining epochs proceeded normally.
+    EpochSkipped {
+        /// The skipped epoch.
+        epoch: usize,
+        /// How many requests arrived (and were therefore declined) in it.
+        arrived: usize,
+        /// The failure that killed the epoch.
+        error: SolveError,
+    },
+}
+
 /// Result of a Metis run.
 #[derive(Clone, Debug)]
 pub struct MetisResult {
@@ -86,6 +129,83 @@ pub struct MetisResult {
     pub history: Vec<IterationRecord>,
     /// Number of completed alternation rounds (≤ `θ`).
     pub rounds: usize,
+    /// Contained failures, in the order they were observed. Empty on a
+    /// healthy run.
+    pub incidents: Vec<Incident>,
+}
+
+impl MetisResult {
+    /// Rounds whose solve failed even after retries (their updates were
+    /// skipped).
+    pub fn failed_rounds(&self) -> usize {
+        self.incidents
+            .iter()
+            .filter(|i| matches!(i, Incident::SolveFailed { .. }))
+            .count()
+    }
+
+    /// Warm-started solves that fell back to a cold basis.
+    pub fn warm_retries(&self) -> usize {
+        self.incidents
+            .iter()
+            .filter(|i| matches!(i, Incident::WarmRetry { .. }))
+            .count()
+    }
+}
+
+/// Runs one phase solve under a fault plan, containing failures.
+///
+/// Counts every attempt (including the cold retry) against `attempts` so
+/// fault plans can target retries. With `retry_cold`, a failed first
+/// attempt is retried once with `solve(true)` (the caller drops its warm
+/// basis); a failure with no retry left becomes a
+/// [`Incident::SolveFailed`] and `None` is returned.
+fn contained_solve<R>(
+    phase: Phase,
+    round: usize,
+    attempts: &mut usize,
+    faults: &FaultPlan,
+    incidents: &mut Vec<Incident>,
+    retry_cold: bool,
+    mut solve: impl FnMut(bool) -> Result<R, SolveError>,
+) -> Option<R> {
+    let mut attempt = |attempts: &mut usize, cold: bool| -> Result<R, SolveError> {
+        let a = *attempts;
+        *attempts += 1;
+        match faults.solver_fault(phase, a) {
+            Some(e) => Err(e),
+            None => solve(cold),
+        }
+    };
+    match attempt(attempts, false) {
+        Ok(r) => Some(r),
+        Err(error) if retry_cold => {
+            incidents.push(Incident::WarmRetry {
+                phase,
+                round,
+                error,
+            });
+            match attempt(attempts, true) {
+                Ok(r) => Some(r),
+                Err(error) => {
+                    incidents.push(Incident::SolveFailed {
+                        phase,
+                        round,
+                        error,
+                    });
+                    None
+                }
+            }
+        }
+        Err(error) => {
+            incidents.push(Incident::SolveFailed {
+                phase,
+                round,
+                error,
+            });
+            None
+        }
+    }
 }
 
 /// Runs Metis on an instance.
@@ -93,9 +213,17 @@ pub struct MetisResult {
 /// The SP Updater starts from zero profit (decline everything), so the
 /// result's profit is never negative.
 ///
+/// Solver failures inside the alternation are contained rather than
+/// propagated: a failed warm solve is retried once from a cold basis, a
+/// round whose solve still fails is skipped (the loop continues from the
+/// SP Updater's best-so-far schedule), and every such event is recorded
+/// in [`MetisResult::incidents`].
+///
 /// # Errors
 ///
-/// Propagates LP solver failures from MAA/TAA.
+/// Returns [`MetisError`] only when no degradation path exists (today:
+/// never for solver failures; the variant is kept for malformed-instance
+/// propagation by higher layers).
 ///
 /// # Examples
 ///
@@ -109,11 +237,33 @@ pub struct MetisResult {
 /// let instance = SpmInstance::new(topo, requests, 12, 3);
 /// let result = metis(&instance, &MetisConfig::with_theta(4))?;
 /// assert!(result.evaluation.profit >= 0.0);
-/// # Ok::<(), metis_lp::SolveError>(())
+/// assert!(result.incidents.is_empty());
+/// # Ok::<(), metis_core::MetisError>(())
 /// ```
-pub fn metis(instance: &SpmInstance, config: &MetisConfig) -> Result<MetisResult, SolveError> {
+pub fn metis(instance: &SpmInstance, config: &MetisConfig) -> Result<MetisResult, MetisError> {
+    metis_with_faults(instance, config, &FaultPlan::none())
+}
+
+/// Runs Metis under a [`FaultPlan`].
+///
+/// With [`FaultPlan::none`] this is exactly [`metis`] — the plan is
+/// consulted before each solve and an empty plan changes nothing, so
+/// failure-free runs stay bit-identical across thread counts and to runs
+/// through the plain entry point.
+///
+/// # Errors
+///
+/// Same as [`metis`].
+pub fn metis_with_faults(
+    instance: &SpmInstance,
+    config: &MetisConfig,
+    faults: &FaultPlan,
+) -> Result<MetisResult, MetisError> {
     let k = instance.num_requests();
     let mut history = Vec::new();
+    let mut incidents: Vec<Incident> = Vec::new();
+    let mut maa_attempts = 0usize;
+    let mut taa_attempts = 0usize;
 
     let maa_opts = MaaOptions {
         parallel: config.parallel,
@@ -133,12 +283,22 @@ pub fn metis(instance: &SpmInstance, config: &MetisConfig) -> Result<MetisResult
     } else {
         None
     };
-    let mut run_maa = |accepted: &[bool]| match rl_solver.as_mut() {
-        Some(solver) => maa_with_solver(instance, accepted, &maa_opts, solver),
+    let mut run_maa = |accepted: &[bool], cold: bool| match rl_solver.as_mut() {
+        Some(solver) => {
+            if cold {
+                solver.reset_basis();
+            }
+            maa_with_solver(instance, accepted, &maa_opts, solver)
+        }
         None => maa(instance, accepted, &maa_opts),
     };
-    let mut run_taa = |caps: &[f64]| match bl_solver.as_mut() {
-        Some(solver) => taa_with_solver(instance, caps, &taa_opts, solver),
+    let mut run_taa = |caps: &[f64], cold: bool| match bl_solver.as_mut() {
+        Some(solver) => {
+            if cold {
+                solver.reset_basis();
+            }
+            taa_with_solver(instance, caps, &taa_opts, solver)
+        }
         None => taa(instance, caps, &taa_opts),
     };
 
@@ -164,20 +324,32 @@ pub fn metis(instance: &SpmInstance, config: &MetisConfig) -> Result<MetisResult
     };
 
     // Initialization: accept every request and minimize its cost.
-    let mut accepted = vec![true; k];
-    let first = run_maa(&accepted)?;
     // Running capacity budget: what the provider would purchase for the
     // current accepted set. Kept element-wise monotone so the limiter
-    // makes progress even when the accepted set stalls.
-    let mut caps = first.evaluation.charged.clone();
-    record(
+    // makes progress even when the accepted set stalls. If the
+    // initialization solve fails, the budget stays all-zero and the loop
+    // exits immediately with the decline-all record — degraded, not dead.
+    let mut accepted = vec![true; k];
+    let mut caps = vec![0.0; instance.topology().num_edges()];
+    if let Some(first) = contained_solve(
         Phase::Maa,
-        first.schedule,
-        first.evaluation,
-        &mut best_schedule,
-        &mut best_eval,
-        &mut history,
-    );
+        0,
+        &mut maa_attempts,
+        faults,
+        &mut incidents,
+        config.warm_start,
+        |cold| run_maa(&accepted, cold),
+    ) {
+        caps = first.evaluation.charged.clone();
+        record(
+            Phase::Maa,
+            first.schedule,
+            first.evaluation,
+            &mut best_schedule,
+            &mut best_eval,
+            &mut history,
+        );
+    }
 
     let mut rounds = 0;
     for round in 0..config.theta {
@@ -190,7 +362,22 @@ pub fn metis(instance: &SpmInstance, config: &MetisConfig) -> Result<MetisResult
             .apply(instance.topology(), &best_eval.load, &caps);
 
         // BL-SPM Solver: re-select requests under the tightened budget.
-        let t = run_taa(&caps)?;
+        let t = contained_solve(
+            Phase::Taa,
+            round + 1,
+            &mut taa_attempts,
+            faults,
+            &mut incidents,
+            config.warm_start,
+            |cold| run_taa(&caps, cold),
+        );
+        rounds = round + 1;
+        let Some(t) = t else {
+            // Skip the round's update: the accepted set and the SP
+            // Updater's record stand; the tightened budget carries over
+            // so the limiter still makes progress next round.
+            continue;
+        };
         accepted = (0..k)
             .map(|i| t.schedule.is_accepted(metis_workload::RequestId(i as u32)))
             .collect();
@@ -202,14 +389,26 @@ pub fn metis(instance: &SpmInstance, config: &MetisConfig) -> Result<MetisResult
             &mut best_eval,
             &mut history,
         );
-        rounds = round + 1;
 
         if accepted.iter().all(|&a| !a) {
             break;
         }
 
         // RL-SPM Solver: re-minimize cost for the surviving set.
-        let m = run_maa(&accepted)?;
+        let m = contained_solve(
+            Phase::Maa,
+            round + 1,
+            &mut maa_attempts,
+            faults,
+            &mut incidents,
+            config.warm_start,
+            |cold| run_maa(&accepted, cold),
+        );
+        let Some(m) = m else {
+            // Skip only the budget refinement; the TAA schedule above is
+            // already recorded.
+            continue;
+        };
         for (c, &m_c) in caps.iter_mut().zip(&m.evaluation.charged) {
             *c = c.min(m_c);
         }
@@ -228,6 +427,7 @@ pub fn metis(instance: &SpmInstance, config: &MetisConfig) -> Result<MetisResult
         evaluation: best_eval,
         history,
         rounds,
+        incidents,
     })
 }
 

@@ -5,6 +5,8 @@ use serde::{Deserialize, Serialize};
 use metis_netsim::{Path, PathCatalog, PathMetric, Topology};
 use metis_workload::{Request, RequestId};
 
+use crate::error::InstanceError;
+
 /// Default number of candidate paths enumerated per DC pair.
 pub const DEFAULT_PATHS_PER_PAIR: usize = 3;
 
@@ -39,16 +41,36 @@ impl SpmInstance {
     ///
     /// # Panics
     ///
-    /// Panics if any request fails validation against the topology and
-    /// cycle length, or if a request's endpoints are disconnected.
+    /// Panics on the [`SpmInstance::try_new`] error conditions: a request
+    /// fails validation against the topology and cycle length, a
+    /// request's endpoints are disconnected, or the cycle has no slots.
     pub fn new(
         topo: Topology,
         requests: Vec<Request>,
         num_slots: usize,
         paths_per_pair: usize,
     ) -> Self {
+        Self::try_new(topo, requests, num_slots, paths_per_pair).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`SpmInstance::new`]: returns the first problem found
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`InstanceError::InvalidRequest`] for a request whose fields fail
+    /// [`Request::validate`] (including `src == dst` and non-finite or
+    /// non-positive rates/values), [`InstanceError::DisconnectedEndpoints`]
+    /// when the topology offers no path, [`InstanceError::NoSlots`] for an
+    /// empty billing cycle.
+    pub fn try_new(
+        topo: Topology,
+        requests: Vec<Request>,
+        num_slots: usize,
+        paths_per_pair: usize,
+    ) -> Result<Self, InstanceError> {
         let catalog = PathCatalog::build(&topo, paths_per_pair, PathMetric::Price);
-        Self::with_catalog(topo, requests, num_slots, &catalog)
+        Self::try_with_catalog(topo, requests, num_slots, &catalog)
     }
 
     /// Builds an instance reusing a prebuilt [`PathCatalog`] (useful when
@@ -63,27 +85,46 @@ impl SpmInstance {
         num_slots: usize,
         catalog: &PathCatalog,
     ) -> Self {
-        assert!(num_slots >= 1, "need at least one slot");
+        Self::try_with_catalog(topo, requests, num_slots, catalog).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`SpmInstance::with_catalog`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SpmInstance::try_new`].
+    pub fn try_with_catalog(
+        topo: Topology,
+        requests: Vec<Request>,
+        num_slots: usize,
+        catalog: &PathCatalog,
+    ) -> Result<Self, InstanceError> {
+        if num_slots < 1 {
+            return Err(InstanceError::NoSlots);
+        }
         let mut paths = Vec::with_capacity(requests.len());
         for r in &requests {
             r.validate(topo.num_nodes(), num_slots)
-                .unwrap_or_else(|e| panic!("invalid request: {e}"));
+                .map_err(|e| InstanceError::InvalidRequest {
+                    id: r.id,
+                    reason: e,
+                })?;
             let ps = catalog.paths(r.src, r.dst);
-            assert!(
-                !ps.is_empty(),
-                "request {} endpoints are disconnected ({} → {})",
-                r.id,
-                r.src,
-                r.dst
-            );
+            if ps.is_empty() {
+                return Err(InstanceError::DisconnectedEndpoints {
+                    id: r.id,
+                    src: r.src,
+                    dst: r.dst,
+                });
+            }
             paths.push(ps.to_vec());
         }
-        SpmInstance {
+        Ok(SpmInstance {
             topo,
             requests,
             paths,
             num_slots,
-        }
+        })
     }
 
     /// The WAN.
@@ -143,24 +184,41 @@ impl SpmInstance {
     ///
     /// Panics if any index is out of range or repeated.
     pub fn subset(&self, indices: &[usize]) -> SpmInstance {
+        self.try_subset(indices).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`SpmInstance::subset`].
+    ///
+    /// # Errors
+    ///
+    /// [`InstanceError::IndexOutOfRange`] or
+    /// [`InstanceError::DuplicateIndex`] for bad subset indices.
+    pub fn try_subset(&self, indices: &[usize]) -> Result<SpmInstance, InstanceError> {
         let mut seen = vec![false; self.requests.len()];
         let mut requests = Vec::with_capacity(indices.len());
         let mut paths = Vec::with_capacity(indices.len());
         for (new_id, &i) in indices.iter().enumerate() {
-            assert!(i < self.requests.len(), "request index {i} out of range");
-            assert!(!seen[i], "request index {i} repeated");
+            if i >= self.requests.len() {
+                return Err(InstanceError::IndexOutOfRange {
+                    index: i,
+                    len: self.requests.len(),
+                });
+            }
+            if seen[i] {
+                return Err(InstanceError::DuplicateIndex { index: i });
+            }
             seen[i] = true;
             let mut r = self.requests[i].clone();
             r.id = RequestId(new_id as u32);
             requests.push(r);
             paths.push(self.paths[i].clone());
         }
-        SpmInstance {
+        Ok(SpmInstance {
             topo: self.topo.clone(),
             requests,
             paths,
             num_slots: self.num_slots,
-        }
+        })
     }
 }
 
@@ -218,5 +276,65 @@ mod tests {
         let mut reqs = generate(&topo, &WorkloadConfig::paper(3, 1));
         reqs[1].end = 99;
         SpmInstance::new(topo, reqs, 12, 3);
+    }
+
+    #[test]
+    fn try_new_rejects_loop_requests() {
+        // src == dst must surface as a validation error, not the
+        // "endpoints are disconnected" panic it used to hit.
+        let topo = topologies::sub_b4();
+        let mut reqs = generate(&topo, &WorkloadConfig::paper(3, 1));
+        reqs[2].dst = reqs[2].src;
+        let err = SpmInstance::try_new(topo, reqs, 12, 3).unwrap_err();
+        match err {
+            InstanceError::InvalidRequest { id, ref reason } => {
+                assert_eq!(id, RequestId(2));
+                assert!(reason.contains("source equals destination"), "{reason}");
+            }
+            other => panic!("expected InvalidRequest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_degenerate_numbers() {
+        let topo = topologies::sub_b4();
+
+        let mut reqs = generate(&topo, &WorkloadConfig::paper(3, 1));
+        reqs[0].rate = f64::NAN;
+        let err = SpmInstance::try_new(topo.clone(), reqs, 12, 3).unwrap_err();
+        assert!(err.to_string().contains("rate"), "{err}");
+
+        let mut reqs = generate(&topo, &WorkloadConfig::paper(3, 1));
+        reqs[1].value = -2.0;
+        let err = SpmInstance::try_new(topo.clone(), reqs, 12, 3).unwrap_err();
+        assert!(err.to_string().contains("value"), "{err}");
+
+        let mut reqs = generate(&topo, &WorkloadConfig::paper(3, 1));
+        reqs[1].rate = -1.0;
+        let err = SpmInstance::try_new(topo, reqs, 12, 3).unwrap_err();
+        assert!(matches!(err, InstanceError::InvalidRequest { .. }));
+    }
+
+    #[test]
+    fn try_new_rejects_zero_slots() {
+        let topo = topologies::sub_b4();
+        let err = SpmInstance::try_new(topo, Vec::new(), 0, 3).unwrap_err();
+        assert_eq!(err, InstanceError::NoSlots);
+    }
+
+    #[test]
+    fn try_subset_rejects_bad_indices() {
+        let inst = instance(4);
+        assert_eq!(
+            inst.try_subset(&[0, 9]).unwrap_err(),
+            InstanceError::IndexOutOfRange { index: 9, len: 4 }
+        );
+        assert_eq!(
+            inst.try_subset(&[1, 2, 1]).unwrap_err(),
+            InstanceError::DuplicateIndex { index: 1 }
+        );
+        let sub = inst.try_subset(&[3, 0]).unwrap();
+        assert_eq!(sub.num_requests(), 2);
+        assert_eq!(sub.request(RequestId(0)).id, RequestId(0));
     }
 }

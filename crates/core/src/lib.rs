@@ -15,6 +15,12 @@
 //! * [`metis`] runs the alternation with a bandwidth [`LimiterRule`] and
 //!   keeps the best schedule (the SP Updater).
 //!
+//! Failures are *contained*, not fatal: solver breakage inside the
+//! alternation degrades the run (retry cold, skip the round or epoch,
+//! record an [`Incident`]) while malformed instances are rejected up
+//! front by the `try_*` constructors with an [`InstanceError`]. The
+//! [`FaultPlan`] type injects deterministic failures for testing.
+//!
 //! # Quick start
 //!
 //! ```
@@ -33,15 +39,18 @@
 //!     result.evaluation.accepted,
 //!     instance.num_requests(),
 //! );
-//! # Ok::<(), metis_lp::SolveError>(())
+//! # Ok::<(), metis_core::MetisError>(())
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod analysis;
 mod blspm;
 pub mod chernoff;
+mod error;
+mod faults;
 mod framework;
 mod instance;
 mod limiter;
@@ -55,10 +64,16 @@ pub use blspm::{
     solve_blspm_relaxation, taa, taa_with_solver, BlspmRelaxation, BlspmWarmSolver, TaaOptions,
     TaaResult,
 };
-pub use framework::{metis, IterationRecord, MetisConfig, MetisResult, Phase};
+pub use error::{InstanceError, MetisError};
+pub use faults::FaultPlan;
+pub use framework::{
+    metis, metis_with_faults, Incident, IterationRecord, MetisConfig, MetisResult, Phase,
+};
 pub use instance::{SpmInstance, DEFAULT_PATHS_PER_PAIR};
 pub use limiter::LimiterRule;
-pub use online::{online_metis, EpochRecord, OnlineOptions, OnlineResult};
+pub use online::{
+    online_metis, online_metis_with_faults, EpochRecord, OnlineOptions, OnlineResult,
+};
 pub use parallel::ParallelConfig;
 pub use rlspm::{
     maa, maa_with_solver, round_schedule, solve_rlspm_relaxation, MaaOptions, MaaResult,

@@ -12,10 +12,11 @@
 //! as if it were alone on the WAN, while the final bill (peak-based,
 //! shared across epochs) can only be lower than the sum of the parts.
 
-use metis_lp::SolveError;
 use metis_workload::RequestId;
 
-use crate::framework::{metis, MetisConfig};
+use crate::error::MetisError;
+use crate::faults::FaultPlan;
+use crate::framework::{metis_with_faults, Incident, MetisConfig};
 use crate::instance::SpmInstance;
 use crate::schedule::{Evaluation, Schedule};
 
@@ -59,6 +60,20 @@ pub struct OnlineResult {
     pub evaluation: Evaluation,
     /// Per-epoch trace.
     pub epochs: Vec<EpochRecord>,
+    /// Contained failures across all epochs, in observation order: the
+    /// inner runs' incidents plus one [`Incident::EpochSkipped`] per
+    /// epoch whose whole run failed.
+    pub incidents: Vec<Incident>,
+}
+
+impl OnlineResult {
+    /// Epochs whose whole run failed (their requests were declined).
+    pub fn skipped_epochs(&self) -> usize {
+        self.incidents
+            .iter()
+            .filter(|i| matches!(i, Incident::EpochSkipped { .. }))
+            .count()
+    }
 }
 
 /// Runs Metis myopically, epoch by epoch.
@@ -69,7 +84,11 @@ pub struct OnlineResult {
 ///
 /// # Errors
 ///
-/// Propagates LP failures from the per-epoch runs.
+/// Returns [`MetisError`] only for malformed instances; solver failures
+/// are contained. An epoch whose whole run fails (see
+/// [`online_metis_with_faults`]) is skipped — its requests are declined,
+/// the remaining epochs proceed — and recorded as
+/// [`Incident::EpochSkipped`] in [`OnlineResult::incidents`].
 ///
 /// # Panics
 ///
@@ -90,12 +109,39 @@ pub struct OnlineResult {
 /// let offline = metis(&instance, &MetisConfig::with_theta(4))?;
 /// // Foresight can only help (up to heuristic noise).
 /// assert!(online.evaluation.profit <= offline.evaluation.profit + 5.0);
-/// # Ok::<(), metis_lp::SolveError>(())
+/// # Ok::<(), metis_core::MetisError>(())
 /// ```
 pub fn online_metis(
     instance: &SpmInstance,
     options: &OnlineOptions,
-) -> Result<OnlineResult, SolveError> {
+) -> Result<OnlineResult, MetisError> {
+    online_metis_with_faults(instance, options, &FaultPlan::none())
+}
+
+/// Runs online Metis under a [`FaultPlan`].
+///
+/// Epoch faults ([`FaultPlan::fail_epoch`]) kill the matching epoch's
+/// whole run, simulating a per-epoch crash or timeout: that epoch's
+/// requests stay declined, an [`Incident::EpochSkipped`] is recorded,
+/// and every other epoch is unaffected. Solver points of the plan are
+/// *not* forwarded to the inner per-epoch runs (attempt indices would be
+/// ambiguous across epochs); inner runs still contain their own organic
+/// solver failures and surface those incidents here.
+///
+/// With [`FaultPlan::none`] this is exactly [`online_metis`].
+///
+/// # Errors
+///
+/// Same as [`online_metis`].
+///
+/// # Panics
+///
+/// Panics if `options.epochs == 0`.
+pub fn online_metis_with_faults(
+    instance: &SpmInstance,
+    options: &OnlineOptions,
+    faults: &FaultPlan,
+) -> Result<OnlineResult, MetisError> {
     assert!(options.epochs >= 1, "need at least one epoch");
     let k = instance.num_requests();
     let slots = instance.num_slots();
@@ -109,17 +155,39 @@ pub fn online_metis(
 
     let mut combined = Schedule::decline_all(k);
     let mut trace = Vec::with_capacity(options.epochs);
+    let mut incidents: Vec<Incident> = Vec::new();
     for (e, members) in per_epoch.iter().enumerate() {
         let mut accepted_here = 0;
         if !members.is_empty() {
-            let sub = instance.subset(members);
-            let result = metis(&sub, &options.metis)?;
-            for (local, &original) in members.iter().enumerate() {
-                let choice = result.schedule.path_choice(RequestId(local as u32));
-                if choice.is_some() {
-                    accepted_here += 1;
+            let epoch_run = match faults.epoch_fault(e) {
+                Some(error) => Err(MetisError::Solve(error)),
+                None => metis_with_faults(
+                    &instance.subset(members),
+                    &options.metis,
+                    &FaultPlan::none(),
+                ),
+            };
+            match epoch_run {
+                Ok(result) => {
+                    incidents.extend(result.incidents.iter().cloned());
+                    for (local, &original) in members.iter().enumerate() {
+                        let choice = result.schedule.path_choice(RequestId(local as u32));
+                        if choice.is_some() {
+                            accepted_here += 1;
+                        }
+                        combined.set(RequestId(original as u32), choice);
+                    }
                 }
-                combined.set(RequestId(original as u32), choice);
+                Err(MetisError::Solve(error)) => {
+                    // Degrade: this epoch's requests stay declined; the
+                    // epochs before and after are untouched.
+                    incidents.push(Incident::EpochSkipped {
+                        epoch: e,
+                        arrived: members.len(),
+                        error,
+                    });
+                }
+                Err(e @ MetisError::Instance(_)) => return Err(e),
             }
         }
         let eval = combined.evaluate(instance);
@@ -136,12 +204,14 @@ pub fn online_metis(
         schedule: combined,
         evaluation,
         epochs: trace,
+        incidents,
     })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::framework::metis;
     use metis_netsim::topologies;
     use metis_workload::{generate, WorkloadConfig};
 

@@ -36,6 +36,21 @@ impl fmt::Display for SolveError {
     }
 }
 
+impl SolveError {
+    /// Whether a different starting point or budget could plausibly make
+    /// the same solve succeed: numerical breakage ([`Self::Singular`])
+    /// and exhausted budgets ([`Self::IterationLimit`],
+    /// [`Self::NodeLimit`]) are worth retrying — e.g. from a cold basis
+    /// after a failed warm start — while [`Self::Infeasible`] and
+    /// [`Self::Unbounded`] are verdicts about the problem itself.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            SolveError::Singular | SolveError::IterationLimit | SolveError::NodeLimit => true,
+            SolveError::Infeasible | SolveError::Unbounded => false,
+        }
+    }
+}
+
 impl Error for SolveError {}
 
 #[cfg(test)]
@@ -62,5 +77,14 @@ mod tests {
     fn is_std_error_send_sync() {
         fn check<T: Error + Send + Sync + 'static>() {}
         check::<SolveError>();
+    }
+
+    #[test]
+    fn retryability_splits_budget_from_verdict_errors() {
+        assert!(SolveError::Singular.is_retryable());
+        assert!(SolveError::IterationLimit.is_retryable());
+        assert!(SolveError::NodeLimit.is_retryable());
+        assert!(!SolveError::Infeasible.is_retryable());
+        assert!(!SolveError::Unbounded.is_retryable());
     }
 }

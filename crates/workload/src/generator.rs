@@ -220,6 +220,21 @@ mod tests {
     }
 
     #[test]
+    fn never_emits_degenerate_fields() {
+        // A src == dst request (or a non-finite rate/value) would be
+        // rejected at instance-build time, so the generator must never
+        // produce one under any seed.
+        let topo = topologies::sub_b4();
+        for seed in 0..20 {
+            for r in generate(&topo, &WorkloadConfig::paper(100, seed)) {
+                assert_ne!(r.src, r.dst, "seed {seed}: {} loops", r.id);
+                assert!(r.rate.is_finite() && r.rate > 0.0, "seed {seed}");
+                assert!(r.value.is_finite() && r.value >= 0.0, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
     fn rates_within_configured_range() {
         let topo = topologies::sub_b4();
         let reqs = generate(&topo, &WorkloadConfig::paper(300, 5));

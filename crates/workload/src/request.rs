@@ -78,11 +78,17 @@ impl Request {
         if self.end >= num_slots {
             return Err(format!("{}: end slot {} out of range", self.id, self.end));
         }
-        if !(self.rate.is_finite() && self.rate > 0.0) {
-            return Err(format!("{}: non-positive rate", self.id));
+        if !self.rate.is_finite() {
+            return Err(format!("{}: non-finite rate {}", self.id, self.rate));
         }
-        if !(self.value.is_finite() && self.value >= 0.0) {
-            return Err(format!("{}: invalid value", self.id));
+        if self.rate <= 0.0 {
+            return Err(format!("{}: non-positive rate {}", self.id, self.rate));
+        }
+        if !self.value.is_finite() {
+            return Err(format!("{}: non-finite value {}", self.id, self.value));
+        }
+        if self.value < 0.0 {
+            return Err(format!("{}: negative value {}", self.id, self.value));
         }
         Ok(())
     }
@@ -144,6 +150,32 @@ mod tests {
         let mut r = req();
         r.src = NodeId(9);
         assert!(r.validate(6, 12).unwrap_err().contains("endpoint"));
+    }
+
+    #[test]
+    fn validation_rejects_non_finite_and_negative_numbers() {
+        // NaN/±∞ rates and values would otherwise poison `total_value`,
+        // profit comparisons, and `min_utilization_edge`'s ordering.
+        for bad_rate in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.5, 0.0] {
+            let mut r = req();
+            r.rate = bad_rate;
+            assert!(
+                r.validate(6, 12).unwrap_err().contains("rate"),
+                "rate {bad_rate} must be rejected"
+            );
+        }
+        for bad_value in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0] {
+            let mut r = req();
+            r.value = bad_value;
+            assert!(
+                r.validate(6, 12).unwrap_err().contains("value"),
+                "value {bad_value} must be rejected"
+            );
+        }
+        // Zero value is a legal (if pointless) bid.
+        let mut r = req();
+        r.value = 0.0;
+        assert_eq!(r.validate(6, 12), Ok(()));
     }
 
     #[test]

@@ -10,12 +10,12 @@
 //! cargo run --release --example auction_clearing
 //! ```
 
+use metis_suite::core::MetisError;
 use metis_suite::core::{metis, MetisConfig, SpmInstance};
-use metis_suite::lp::SolveError;
 use metis_suite::netsim::topologies;
 use metis_suite::workload::{generate, RequestId, WorkloadConfig};
 
-fn main() -> Result<(), SolveError> {
+fn main() -> Result<(), MetisError> {
     let topo = topologies::sub_b4();
     let requests = generate(&topo, &WorkloadConfig::paper(60, 2024));
     let instance = SpmInstance::new(topo, requests, 12, 3);

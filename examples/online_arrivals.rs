@@ -8,12 +8,12 @@
 //! cargo run --release --example online_arrivals
 //! ```
 
+use metis_suite::core::MetisError;
 use metis_suite::core::{metis, online_metis, MetisConfig, OnlineOptions, SpmInstance};
-use metis_suite::lp::SolveError;
 use metis_suite::netsim::topologies;
 use metis_suite::workload::{generate, WorkloadConfig};
 
-fn main() -> Result<(), SolveError> {
+fn main() -> Result<(), MetisError> {
     let topo = topologies::b4();
     let requests = generate(&topo, &WorkloadConfig::paper(300, 11));
     let instance = SpmInstance::new(topo, requests, 12, 3);

@@ -15,12 +15,12 @@
 //! ```
 
 use metis_suite::baselines::ecoflow;
+use metis_suite::core::MetisError;
 use metis_suite::core::{maa, metis, MaaOptions, MetisConfig, SpmInstance};
-use metis_suite::lp::SolveError;
 use metis_suite::netsim::topologies;
 use metis_suite::workload::{generate, WorkloadConfig};
 
-fn main() -> Result<(), SolveError> {
+fn main() -> Result<(), MetisError> {
     println!("demand    serve-all      greedy       Metis   Metis vs serve-all");
     println!("------  -----------  -----------  -----------  ------------------");
     for k in [100usize, 200, 400, 600] {

@@ -4,12 +4,12 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use metis_suite::core::MetisError;
 use metis_suite::core::{metis, MetisConfig, SpmInstance};
-use metis_suite::lp::SolveError;
 use metis_suite::netsim::topologies;
 use metis_suite::workload::{generate, WorkloadConfig};
 
-fn main() -> Result<(), SolveError> {
+fn main() -> Result<(), MetisError> {
     // The provider's WAN: 12 data centers, 19 leased bidirectional links.
     let topo = topologies::b4();
     println!(

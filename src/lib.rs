@@ -22,7 +22,7 @@
 //! let instance = SpmInstance::new(topo, requests, 12, 3);
 //! let result = metis(&instance, &MetisConfig::with_theta(4))?;
 //! assert!(result.evaluation.profit >= 0.0);
-//! # Ok::<(), metis_suite::lp::SolveError>(())
+//! # Ok::<(), metis_suite::core::MetisError>(())
 //! ```
 
 #![forbid(unsafe_code)]

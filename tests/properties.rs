@@ -5,7 +5,10 @@
 use proptest::prelude::*;
 
 use metis_suite::baselines::{amoeba, ecoflow, ecoflow_with, mincost, EcoflowCostModel};
-use metis_suite::core::{maa, metis, taa, MaaOptions, MetisConfig, SpmInstance, TaaOptions};
+use metis_suite::core::{
+    maa, metis, online_metis, taa, LimiterRule, MaaOptions, MetisConfig, OnlineOptions,
+    SpmInstance, TaaOptions,
+};
 use metis_suite::netsim::{ceil_units, EdgeId, LoadMatrix, Region, Topology, CEIL_EPS};
 use metis_suite::workload::{generate, Request, RequestId, ValueModel, WorkloadConfig};
 
@@ -240,6 +243,110 @@ proptest! {
             .sum();
         prop_assert!((sum_cells - total).abs() < 1e-6);
     }
+}
+
+/// Degenerate instances must run to completion — never panic, never lose
+/// the profit ≥ 0 guarantee — through both the offline and online entry
+/// points.
+fn assert_degrades_gracefully(inst: &SpmInstance, label: &str) {
+    let m =
+        metis(inst, &MetisConfig::with_theta(3)).unwrap_or_else(|e| panic!("{label}: metis: {e}"));
+    assert!(m.evaluation.profit >= 0.0, "{label}");
+    assert!(m.incidents.is_empty(), "{label}: no faults were injected");
+    for epochs in [1, 4] {
+        let o = online_metis(
+            inst,
+            &OnlineOptions {
+                epochs,
+                metis: MetisConfig::with_theta(3),
+            },
+        )
+        .unwrap_or_else(|e| panic!("{label}: online({epochs}): {e}"));
+        assert!(o.evaluation.profit >= 0.0, "{label}: online({epochs})");
+        let arrived: usize = o.epochs.iter().map(|e| e.arrived).sum();
+        assert_eq!(arrived, inst.num_requests(), "{label}: online({epochs})");
+    }
+}
+
+#[test]
+fn degenerate_empty_workload() {
+    // K = 0: nothing to schedule, profit exactly zero.
+    let topo = topologies_sub_b4();
+    let inst = SpmInstance::new(topo, Vec::new(), 12, 3);
+    assert_degrades_gracefully(&inst, "K=0");
+    let m = metis(&inst, &MetisConfig::with_theta(3)).unwrap();
+    assert_eq!(m.evaluation.profit, 0.0);
+    assert_eq!(m.evaluation.accepted, 0);
+}
+
+#[test]
+fn degenerate_single_slot_cycle() {
+    // T = 1: every request occupies the whole (one-slot) cycle, so peak
+    // billing and per-slot load coincide.
+    let topo = topologies_sub_b4();
+    let cfg = WorkloadConfig {
+        num_requests: 15,
+        num_slots: 1,
+        ..WorkloadConfig::paper(15, 3)
+    };
+    let requests = generate(&topo, &cfg);
+    assert!(requests.iter().all(|r| r.start == 0 && r.end == 0));
+    let inst = SpmInstance::new(topo, requests, 1, 3);
+    assert_degrades_gracefully(&inst, "T=1");
+}
+
+#[test]
+fn degenerate_zero_capacity_is_limiter_fixed_point() {
+    // Every τ rule maps an all-zero budget to an all-zero budget, so the
+    // alternation's "no capacity left" exit is a true fixed point rather
+    // than an oscillation — and TAA at that point declines everything.
+    let topo = topologies_sub_b4();
+    let requests = generate(&topo, &WorkloadConfig::paper(10, 4));
+    let inst = SpmInstance::new(topo, requests, 12, 3);
+    let zeros = vec![0.0; inst.topology().num_edges()];
+    let no_load = LoadMatrix::new(inst.topology().num_edges(), inst.num_slots());
+    for rule in [
+        LimiterRule::MinUtilization,
+        LimiterRule::MaxPrice,
+        LimiterRule::UniformShrink,
+    ] {
+        let tightened = rule.apply(inst.topology(), &no_load, &zeros);
+        assert_eq!(tightened, zeros, "{rule:?} must keep the fixed point");
+    }
+    let t = taa(&inst, &zeros, &TaaOptions::default()).unwrap();
+    assert_eq!(t.schedule.num_accepted(), 0);
+    assert_degrades_gracefully(&inst, "zero-capacity");
+}
+
+#[test]
+fn degenerate_single_request_single_path() {
+    // Two nodes, one link, one request: the smallest non-trivial SPM.
+    let mut b = Topology::builder();
+    let n0 = b.add_node("a", Region::Europe);
+    let n1 = b.add_node("b", Region::Europe);
+    b.add_link(n0, n1, 2.0);
+    let topo = b.build();
+    let r = Request {
+        id: RequestId(0),
+        src: n0,
+        dst: n1,
+        start: 0,
+        end: 5,
+        rate: 0.5,
+        value: 9.0,
+    };
+    let inst = SpmInstance::new(topo, vec![r], 12, 3);
+    assert_eq!(inst.paths(RequestId(0)).len(), 1);
+    assert_degrades_gracefully(&inst, "1x1");
+    // The bid (9) covers the cost (one unit on each direction's billing:
+    // 2 per unit here), so Metis should take it.
+    let m = metis(&inst, &MetisConfig::with_theta(3)).unwrap();
+    assert_eq!(m.evaluation.accepted, 1);
+    assert!(m.evaluation.profit > 0.0);
+}
+
+fn topologies_sub_b4() -> Topology {
+    metis_suite::netsim::topologies::sub_b4()
 }
 
 /// Hand-built adversarial case: a request whose two candidate paths share
