@@ -1,0 +1,57 @@
+//! Telemetry overhead: `metis()` vs `metis_instrumented()` with a
+//! disabled handle vs a live collector, on the golden B4/K=40 fixture.
+//!
+//! DESIGN.md §7 records the methodology and the <2% overhead bound this
+//! group substantiates: the disabled handle must be indistinguishable
+//! from the uninstrumented entry point, and a live collector should cost
+//! low single-digit percent on an end-to-end alternation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use metis_core::{metis, metis_instrumented, FaultPlan, MetisConfig, SpmInstance};
+use metis_netsim::topologies;
+use metis_telemetry::Telemetry;
+use metis_workload::{generate, ValueModel, WorkloadConfig};
+
+/// Same instance as `tests/golden.rs`: B4, K = 40, seed 2024, θ = 6.
+fn golden_instance() -> SpmInstance {
+    let topo = topologies::b4();
+    let config = WorkloadConfig {
+        num_requests: 40,
+        seed: 2024,
+        value_model: ValueModel::PricedPath {
+            low: 2.0,
+            high: 8.0,
+        },
+        ..WorkloadConfig::default()
+    };
+    let requests = generate(&topo, &config);
+    SpmInstance::new(topo, requests, 12, 3)
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("telemetry/metis_b4_k40");
+    g.sample_size(30);
+    let inst = golden_instance();
+    let config = MetisConfig::with_theta(6);
+
+    g.bench_function("uninstrumented", |b| {
+        b.iter(|| metis(&inst, &config).expect("metis"));
+    });
+    g.bench_function("disabled_handle", |b| {
+        let tele = Telemetry::disabled();
+        b.iter(|| metis_instrumented(&inst, &config, &FaultPlan::none(), &tele).expect("metis"));
+    });
+    g.bench_function("instrumented", |b| {
+        // A fresh collector per iteration so aggregates never saturate
+        // and each run pays the full record-and-allocate cost.
+        b.iter(|| {
+            let tele = Telemetry::enabled();
+            metis_instrumented(&inst, &config, &FaultPlan::none(), &tele).expect("metis")
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

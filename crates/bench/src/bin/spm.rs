@@ -10,9 +10,11 @@
 
 use metis_baselines::{ecoflow, mincost, opt_spm_with_start};
 use metis_bench::json::{obj, Json};
-use metis_core::{maa, metis, MaaOptions, MetisConfig, SpmInstance};
+use metis_bench::report::phase_timing_table;
+use metis_core::{maa, metis_instrumented, FaultPlan, MaaOptions, MetisConfig, SpmInstance};
 use metis_lp::IlpOptions;
 use metis_netsim::topologies;
+use metis_telemetry::{to_prometheus, Telemetry};
 use metis_workload::{generate, RequestId, ValueModel, WorkloadConfig};
 
 /// Everything a run needs, loadable from a JSON scenario file.
@@ -224,6 +226,8 @@ struct Args {
     analyze: bool,
     opt_seconds: Option<u64>,
     scenario: Option<String>,
+    telemetry: Option<String>,
+    telemetry_prometheus: Option<String>,
 }
 
 impl Default for Args {
@@ -239,12 +243,16 @@ impl Default for Args {
             analyze: false,
             opt_seconds: None,
             scenario: None,
+            telemetry: None,
+            telemetry_prometheus: None,
         }
     }
 }
 
 const USAGE: &str = "usage: spm [--network b4|sub-b4] [--requests K] [--seed S] \
-[--theta T] [--paths P] [--opt-seconds N] [--compare] [--analyze] [--json] [--scenario FILE.json]\nnetworks: b4, sub-b4, abilene, geant (or a random spec in a scenario file)";
+[--theta T] [--paths P] [--opt-seconds N] [--compare] [--analyze] [--json] [--scenario FILE.json] \
+[--telemetry OUT.json] [--telemetry-prometheus OUT.prom]\nnetworks: b4, sub-b4, abilene, geant (or a random spec in a scenario file)\n\
+--telemetry* flags capture per-phase spans and solver metrics during the run and\nwrite the snapshot to the given file (JSON or Prometheus text format)";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
@@ -287,6 +295,10 @@ fn parse_args() -> Result<Args, String> {
             "--compare" => args.compare = true,
             "--analyze" => args.analyze = true,
             "--scenario" => args.scenario = Some(value("--scenario")?),
+            "--telemetry" => args.telemetry = Some(value("--telemetry")?),
+            "--telemetry-prometheus" => {
+                args.telemetry_prometheus = Some(value("--telemetry-prometheus")?)
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -440,7 +452,20 @@ fn main() {
     let requests = generate(&topo, &scenario.workload);
     let instance = SpmInstance::new(topo, requests, scenario.workload.num_slots, scenario.paths);
 
-    let result = metis(&instance, &MetisConfig::with_theta(scenario.theta)).unwrap_or_else(|e| {
+    let want_tele = args.telemetry.is_some() || args.telemetry_prometheus.is_some();
+    let tele = if want_tele {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+
+    let result = metis_instrumented(
+        &instance,
+        &MetisConfig::with_theta(scenario.theta),
+        &FaultPlan::none(),
+        &tele,
+    )
+    .unwrap_or_else(|e| {
         eprintln!("metis failed: {e}");
         std::process::exit(1);
     });
@@ -559,5 +584,31 @@ fn main() {
 {}",
             analysis.render_text(5)
         );
+    }
+
+    if want_tele {
+        match tele.snapshot() {
+            Some(snap) => {
+                let write = |path: &str, body: String| {
+                    if let Err(e) = std::fs::write(path, body) {
+                        eprintln!("cannot write telemetry to {path}: {e}");
+                        std::process::exit(1);
+                    }
+                };
+                if let Some(path) = &args.telemetry {
+                    write(path, snap.to_json());
+                }
+                if let Some(path) = &args.telemetry_prometheus {
+                    write(path, to_prometheus(&snap));
+                }
+                if !args.json {
+                    println!("\n{}", phase_timing_table(&snap).render());
+                }
+            }
+            None => eprintln!(
+                "telemetry requested but the `capture` feature is compiled out; \
+rebuild metis-telemetry with default features"
+            ),
+        }
     }
 }

@@ -11,12 +11,13 @@
 //! used Gurobi); runs are time-limited and warm-started, and the report
 //! carries the proven bound so cut-short solves are visible.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use metis_baselines::{opt_rlspm, opt_spm_with_start};
-use metis_core::{metis, MetisConfig, SpmInstance};
+use metis_core::{metis_instrumented, FaultPlan, MetisConfig, SpmInstance};
 use metis_lp::IlpOptions;
 use metis_netsim::topologies;
+use metis_telemetry::{names, Telemetry};
 use metis_workload::{generate, WorkloadConfig};
 
 use crate::report::{f2, mean, Table};
@@ -170,25 +171,47 @@ pub fn run(options: &Fig3Options) -> Fig3Output {
     }
 }
 
+/// Span wrapping each exact-MILP baseline solve (Metis itself reports
+/// under its own [`names::SPAN_METIS`] span).
+const SPAN_OPT_SPM: &str = "opt.spm";
+const SPAN_OPT_RLSPM: &str = "opt.rlspm";
+
 fn measure(k: usize, seed: u64, options: &Fig3Options) -> Point {
     let topo = topologies::sub_b4();
     let requests = generate(&topo, &WorkloadConfig::paper(k, seed));
     let instance = SpmInstance::new(topo, requests, 12, options.paths_per_pair);
 
-    let t0 = Instant::now();
-    let m = metis(&instance, &MetisConfig::with_theta(options.theta)).expect("metis");
-    let metis_secs = t0.elapsed().as_secs_f64();
+    // All phase timings come from one span collector instead of ad-hoc
+    // `Instant` pairs; with the telemetry `capture` feature compiled out
+    // the timings degrade to 0 (the experiment's economics are unchanged).
+    let tele = Telemetry::enabled();
+    let m = metis_instrumented(
+        &instance,
+        &MetisConfig::with_theta(options.theta),
+        &FaultPlan::none(),
+        &tele,
+    )
+    .expect("metis");
 
     let ilp = IlpOptions {
         time_limit: Some(options.opt_time_limit),
         ..IlpOptions::default()
     };
-    let t0 = Instant::now();
-    let opt = opt_spm_with_start(&instance, &ilp, &m.schedule).expect("opt_spm");
-    let opt_secs = t0.elapsed().as_secs_f64();
-    let t0 = Instant::now();
-    let rl = opt_rlspm(&instance, &ilp).expect("opt_rlspm");
-    let rl_secs = t0.elapsed().as_secs_f64();
+    let opt = {
+        let _s = tele.span(SPAN_OPT_SPM);
+        opt_spm_with_start(&instance, &ilp, &m.schedule).expect("opt_spm")
+    };
+    let rl = {
+        let _s = tele.span(SPAN_OPT_RLSPM);
+        opt_rlspm(&instance, &ilp).expect("opt_rlspm")
+    };
+    let snap = tele.snapshot();
+    let secs = |name: &str| snap.as_ref().map_or(0.0, |s| s.span_secs(name));
+    let (metis_secs, opt_secs, rl_secs) = (
+        secs(names::SPAN_METIS),
+        secs(SPAN_OPT_SPM),
+        secs(SPAN_OPT_RLSPM),
+    );
 
     let u = |e: &metis_core::Evaluation| [e.utilization.min, e.utilization.mean, e.utilization.max];
     Point {

@@ -5,6 +5,8 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
+use metis_telemetry::Snapshot;
+
 /// A rectangular results table: one row per x-axis point, one column per
 /// series — mirroring how the paper's figures are plotted.
 #[derive(Clone, Debug, Default)]
@@ -90,6 +92,33 @@ impl Table {
     }
 }
 
+/// Builds the per-phase wall-clock table from a telemetry snapshot's
+/// span aggregates — the drivers' replacement for ad-hoc
+/// `Instant::now()` bookkeeping: whatever ran under a span shows up
+/// here with call counts and total/mean/min/max durations.
+pub fn phase_timing_table(snapshot: &Snapshot) -> Table {
+    let mut t = Table::new(
+        "Per-phase wall clock (telemetry spans)",
+        &["span", "calls", "total ms", "mean us", "min us", "max us"],
+    );
+    for span in &snapshot.spans {
+        let mean_us = if span.count == 0 {
+            0.0
+        } else {
+            span.total_us as f64 / span.count as f64
+        };
+        t.push_row(vec![
+            span.name.clone(),
+            span.count.to_string(),
+            f2(span.total_us as f64 / 1_000.0),
+            f2(mean_us),
+            span.min_us.to_string(),
+            span.max_us.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Formats a float with two decimals (the tables' default precision).
 pub fn f2(v: f64) -> String {
     format!("{v:.2}")
@@ -136,6 +165,23 @@ mod tests {
     fn row_width_checked() {
         let mut t = Table::new("demo", &["a", "b"]);
         t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn phase_table_reads_span_aggregates() {
+        let tele = metis_telemetry::Telemetry::enabled();
+        {
+            let _outer = tele.span("experiment");
+            let _inner = tele.span("experiment.solve");
+        }
+        let Some(snap) = tele.snapshot() else {
+            return; // capture feature compiled out: nothing to tabulate
+        };
+        let t = phase_timing_table(&snap);
+        assert_eq!(t.rows.len(), 2);
+        assert!(t.rows.iter().any(|r| r[0] == "experiment.solve"));
+        assert!(t.rows.iter().all(|r| r[1] == "1"));
+        assert!(t.render().contains("total ms"));
     }
 
     #[test]

@@ -19,7 +19,8 @@
 //! taken, so the returned schedule always satisfies BL-SPM's constraints
 //! (the estimator then only steers revenue).
 
-use metis_lp::{Basis, Problem, Relation, RowId, Sense, SolveError, SolveOptions};
+use metis_lp::{Basis, Problem, Relation, RowId, Sense, SolveError, SolveOptions, SolveStats};
+use metis_telemetry::{names, Telemetry};
 use metis_workload::RequestId;
 
 use crate::chernoff::{chernoff_delta, select_mu};
@@ -54,6 +55,8 @@ pub struct BlspmRelaxation {
     /// Fractional revenue `Σ v_i Σ_j x̂_{i,j}` — an upper bound on the
     /// integral optimum.
     pub revenue: f64,
+    /// Work counters from the LP solve that produced this relaxation.
+    pub stats: SolveStats,
 }
 
 /// Result of one TAA run.
@@ -127,6 +130,7 @@ pub fn solve_blspm_relaxation(
     Ok(BlspmRelaxation {
         x,
         revenue: sol.objective(),
+        stats: *sol.stats(),
     })
 }
 
@@ -199,10 +203,7 @@ pub fn taa(
     capacities: &[f64],
     options: &TaaOptions,
 ) -> Result<TaaResult, SolveError> {
-    let relaxation = solve_blspm_relaxation(instance, capacities, &options.lp)?;
-    Ok(taa_from_relaxation(
-        instance, capacities, options, relaxation,
-    ))
+    taa_instrumented(instance, capacities, options, None, &Telemetry::disabled())
 }
 
 /// Runs TAA like [`taa`], but solves the relaxation through a reusable
@@ -224,9 +225,51 @@ pub fn taa_with_solver(
     options: &TaaOptions,
     solver: &mut BlspmWarmSolver,
 ) -> Result<TaaResult, SolveError> {
-    let relaxation = solver.solve(capacities, &options.lp)?;
+    taa_instrumented(
+        instance,
+        capacities,
+        options,
+        Some(solver),
+        &Telemetry::disabled(),
+    )
+}
+
+/// Runs TAA with optional warm starts, recording telemetry into `tele`.
+///
+/// This is the instrumented superset of [`taa`] (pass `None` for
+/// `solver`) and [`taa_with_solver`] (pass `Some`): the relaxation solve
+/// runs under the `taa.relax` span, the derandomized walk under
+/// `taa.walk`, LP work counters land in the `lp.*` metrics, and the
+/// chosen `μ` and initial estimator value `u_root` are pushed to the
+/// `taa.mu` / `taa.u_root` series. Recording is write-only — passing
+/// [`Telemetry::disabled`] (what the plain entry points do) yields
+/// bit-identical results.
+///
+/// # Errors
+///
+/// Propagates LP failures from the relaxation stage.
+///
+/// # Panics
+///
+/// Panics if `capacities.len()` differs from the edge count or `solver`
+/// was built from a different instance.
+pub fn taa_instrumented(
+    instance: &SpmInstance,
+    capacities: &[f64],
+    options: &TaaOptions,
+    solver: Option<&mut BlspmWarmSolver>,
+    tele: &Telemetry,
+) -> Result<TaaResult, SolveError> {
+    let relaxation = {
+        let _relax = tele.span(names::SPAN_TAA_RELAX);
+        match solver {
+            Some(s) => s.solve(capacities, &options.lp)?,
+            None => solve_blspm_relaxation(instance, capacities, &options.lp)?,
+        }
+    };
+    crate::obs::record_lp_stats(tele, &relaxation.stats);
     Ok(taa_from_relaxation(
-        instance, capacities, options, relaxation,
+        instance, capacities, options, relaxation, tele,
     ))
 }
 
@@ -236,7 +279,9 @@ fn taa_from_relaxation(
     capacities: &[f64],
     options: &TaaOptions,
     relaxation: BlspmRelaxation,
+    tele: &Telemetry,
 ) -> TaaResult {
+    let _walk = tele.span(names::SPAN_TAA_WALK);
     let k = instance.num_requests();
     let threads = options.parallel.effective_threads();
     let topo = instance.topology();
@@ -278,6 +323,7 @@ fn taa_from_relaxation(
             mu: None,
         };
     };
+    tele.push(names::TAA_MU, mu);
 
     let cells = CellIndex::build(instance, capacities);
     let n_cells = cells.caps.len();
@@ -371,6 +417,9 @@ fn taa_from_relaxation(
         f_cons.push(fs);
     }
     let mut total_c: f64 = c_term.iter().sum();
+    // Initial pessimistic-estimator value at the root of the decision
+    // tree: the bound the walk greedily drives down level by level.
+    tele.push(names::TAA_U_ROOT, r_term + total_c);
 
     // Residual feasibility tracking.
     let mut cell_load = vec![0.0_f64; n_cells];
@@ -660,6 +709,7 @@ impl BlspmWarmSolver {
         Ok(BlspmRelaxation {
             x,
             revenue: sol.objective(),
+            stats: *sol.stats(),
         })
     }
 

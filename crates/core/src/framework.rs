@@ -7,17 +7,21 @@
 //! Updater** keeps the most profitable schedule seen. The loop runs `θ`
 //! rounds or until the accepted set drains.
 
+use std::fmt;
+use std::time::Instant;
+
 use serde::{Deserialize, Serialize};
 
 use metis_lp::SolveError;
+use metis_telemetry::{names, Telemetry};
 
-use crate::blspm::{taa, taa_with_solver, BlspmWarmSolver, TaaOptions};
+use crate::blspm::{taa_instrumented, BlspmWarmSolver, TaaOptions};
 use crate::error::MetisError;
 use crate::faults::FaultPlan;
 use crate::instance::SpmInstance;
 use crate::limiter::LimiterRule;
 use crate::parallel::ParallelConfig;
-use crate::rlspm::{maa, maa_with_solver, MaaOptions, RlspmWarmSolver};
+use crate::rlspm::{maa_instrumented, MaaOptions, RlspmWarmSolver};
 use crate::schedule::{Evaluation, Schedule};
 
 /// Configuration of one Metis run.
@@ -64,6 +68,15 @@ pub enum Phase {
     Maa,
     /// BL-SPM Solver (TAA).
     Taa,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Phase::Maa => "MAA",
+            Phase::Taa => "TAA",
+        })
+    }
 }
 
 /// One entry of the profit trace.
@@ -118,6 +131,47 @@ pub enum Incident {
     },
 }
 
+impl fmt::Display for Incident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Incident::SolveFailed {
+                phase,
+                round,
+                error,
+            } => write!(f, "{phase} solve failed at round {round}: {error}"),
+            Incident::WarmRetry {
+                phase,
+                round,
+                error,
+            } => write!(
+                f,
+                "{phase} warm solve failed at round {round}, retrying cold: {error}"
+            ),
+            Incident::EpochSkipped {
+                epoch,
+                arrived,
+                error,
+            } => write!(
+                f,
+                "epoch {epoch} skipped, {arrived} arrived requests declined: {error}"
+            ),
+        }
+    }
+}
+
+/// Counts an incident in the metrics registry, emits it on the event
+/// stream, and appends it to the run's incident list — the single funnel
+/// every contained failure goes through.
+pub(crate) fn note_incident(tele: &Telemetry, incidents: &mut Vec<Incident>, incident: Incident) {
+    match &incident {
+        Incident::SolveFailed { .. } => tele.incr(names::INCIDENT_SOLVE_FAILED),
+        Incident::WarmRetry { .. } => tele.incr(names::INCIDENT_WARM_RETRY),
+        Incident::EpochSkipped { .. } => tele.incr(names::INCIDENT_EPOCH_SKIPPED),
+    }
+    tele.event(names::EVENT_INCIDENT, || incident.to_string());
+    incidents.push(incident);
+}
+
 /// Result of a Metis run.
 #[derive(Clone, Debug)]
 pub struct MetisResult {
@@ -160,6 +214,7 @@ impl MetisResult {
 /// attempt is retried once with `solve(true)` (the caller drops its warm
 /// basis); a failure with no retry left becomes a
 /// [`Incident::SolveFailed`] and `None` is returned.
+#[allow(clippy::too_many_arguments)]
 fn contained_solve<R>(
     phase: Phase,
     round: usize,
@@ -167,6 +222,7 @@ fn contained_solve<R>(
     faults: &FaultPlan,
     incidents: &mut Vec<Incident>,
     retry_cold: bool,
+    tele: &Telemetry,
     mut solve: impl FnMut(bool) -> Result<R, SolveError>,
 ) -> Option<R> {
     let mut attempt = |attempts: &mut usize, cold: bool| -> Result<R, SolveError> {
@@ -180,29 +236,41 @@ fn contained_solve<R>(
     match attempt(attempts, false) {
         Ok(r) => Some(r),
         Err(error) if retry_cold => {
-            incidents.push(Incident::WarmRetry {
-                phase,
-                round,
-                error,
-            });
+            note_incident(
+                tele,
+                incidents,
+                Incident::WarmRetry {
+                    phase,
+                    round,
+                    error,
+                },
+            );
             match attempt(attempts, true) {
                 Ok(r) => Some(r),
                 Err(error) => {
-                    incidents.push(Incident::SolveFailed {
-                        phase,
-                        round,
-                        error,
-                    });
+                    note_incident(
+                        tele,
+                        incidents,
+                        Incident::SolveFailed {
+                            phase,
+                            round,
+                            error,
+                        },
+                    );
                     None
                 }
             }
         }
         Err(error) => {
-            incidents.push(Incident::SolveFailed {
-                phase,
-                round,
-                error,
-            });
+            note_incident(
+                tele,
+                incidents,
+                Incident::SolveFailed {
+                    phase,
+                    round,
+                    error,
+                },
+            );
             None
         }
     }
@@ -259,6 +327,36 @@ pub fn metis_with_faults(
     config: &MetisConfig,
     faults: &FaultPlan,
 ) -> Result<MetisResult, MetisError> {
+    metis_instrumented(instance, config, faults, &Telemetry::disabled())
+}
+
+/// Runs Metis under a [`FaultPlan`], recording telemetry into `tele`.
+///
+/// The whole run executes under the `metis` span; each round (including
+/// the round-0 initialization MAA) gets an `alternation.round` child span
+/// plus an entry in the `alternation.round.duration_us` histogram and the
+/// `alternation.round.profit` series, the limiter runs under
+/// `limiter.apply`, and every contained failure is counted in the
+/// `incident.*` metrics and emitted on the event stream as well as
+/// recorded in [`MetisResult::incidents`].
+///
+/// Telemetry is write-only: nothing in the pipeline reads it, all series
+/// and histograms are recorded on the calling thread after each parallel
+/// region's index-ordered reduction, and [`Telemetry::disabled`] (what
+/// [`metis_with_faults`] passes) skips every recording — so the returned
+/// [`MetisResult`] is bit-identical whether telemetry is on or off, at
+/// any thread count.
+///
+/// # Errors
+///
+/// Same as [`metis`].
+pub fn metis_instrumented(
+    instance: &SpmInstance,
+    config: &MetisConfig,
+    faults: &FaultPlan,
+    tele: &Telemetry,
+) -> Result<MetisResult, MetisError> {
+    let _metis_span = tele.span(names::SPAN_METIS);
     let k = instance.num_requests();
     let mut history = Vec::new();
     let mut incidents: Vec<Incident> = Vec::new();
@@ -283,23 +381,21 @@ pub fn metis_with_faults(
     } else {
         None
     };
-    let mut run_maa = |accepted: &[bool], cold: bool| match rl_solver.as_mut() {
-        Some(solver) => {
-            if cold {
+    let mut run_maa = |accepted: &[bool], cold: bool| {
+        if cold {
+            if let Some(solver) = rl_solver.as_mut() {
                 solver.reset_basis();
             }
-            maa_with_solver(instance, accepted, &maa_opts, solver)
         }
-        None => maa(instance, accepted, &maa_opts),
+        maa_instrumented(instance, accepted, &maa_opts, rl_solver.as_mut(), tele)
     };
-    let mut run_taa = |caps: &[f64], cold: bool| match bl_solver.as_mut() {
-        Some(solver) => {
-            if cold {
+    let mut run_taa = |caps: &[f64], cold: bool| {
+        if cold {
+            if let Some(solver) = bl_solver.as_mut() {
                 solver.reset_basis();
             }
-            taa_with_solver(instance, caps, &taa_opts, solver)
         }
-        None => taa(instance, caps, &taa_opts),
+        taa_instrumented(instance, caps, &taa_opts, bl_solver.as_mut(), tele)
     };
 
     // SP Updater: profit starts at zero with everything declined.
@@ -331,95 +427,125 @@ pub fn metis_with_faults(
     // exits immediately with the decline-all record — degraded, not dead.
     let mut accepted = vec![true; k];
     let mut caps = vec![0.0; instance.topology().num_edges()];
-    if let Some(first) = contained_solve(
-        Phase::Maa,
-        0,
-        &mut maa_attempts,
-        faults,
-        &mut incidents,
-        config.warm_start,
-        |cold| run_maa(&accepted, cold),
-    ) {
-        caps = first.evaluation.charged.clone();
-        record(
+    let round_start = tele.is_enabled().then(Instant::now);
+    {
+        let _round = tele.span(names::SPAN_ROUND);
+        if let Some(first) = contained_solve(
             Phase::Maa,
-            first.schedule,
-            first.evaluation,
-            &mut best_schedule,
-            &mut best_eval,
-            &mut history,
-        );
+            0,
+            &mut maa_attempts,
+            faults,
+            &mut incidents,
+            config.warm_start,
+            tele,
+            |cold| run_maa(&accepted, cold),
+        ) {
+            caps = first.evaluation.charged.clone();
+            record(
+                Phase::Maa,
+                first.schedule,
+                first.evaluation,
+                &mut best_schedule,
+                &mut best_eval,
+                &mut history,
+            );
+        }
     }
+    if let Some(start) = round_start {
+        tele.observe(names::ROUND_DURATION_US, start.elapsed().as_micros() as f64);
+    }
+    tele.incr(names::ROUNDS);
+    tele.push(names::ROUND_PROFIT, best_eval.profit);
 
     let mut rounds = 0;
     for round in 0..config.theta {
         if caps.iter().all(|&c| c <= 0.0) {
             break;
         }
-        // BW Limiter: tighten by rule τ, based on the best load seen.
-        caps = config
-            .limiter
-            .apply(instance.topology(), &best_eval.load, &caps);
+        let round_start = tele.is_enabled().then(Instant::now);
+        let round_span = tele.span(names::SPAN_ROUND);
+        let mut stop = false;
+        'round: {
+            // BW Limiter: tighten by rule τ, based on the best load seen.
+            {
+                let _limiter = tele.span(names::SPAN_LIMITER);
+                caps = config
+                    .limiter
+                    .apply(instance.topology(), &best_eval.load, &caps);
+            }
 
-        // BL-SPM Solver: re-select requests under the tightened budget.
-        let t = contained_solve(
-            Phase::Taa,
-            round + 1,
-            &mut taa_attempts,
-            faults,
-            &mut incidents,
-            config.warm_start,
-            |cold| run_taa(&caps, cold),
-        );
-        rounds = round + 1;
-        let Some(t) = t else {
-            // Skip the round's update: the accepted set and the SP
-            // Updater's record stand; the tightened budget carries over
-            // so the limiter still makes progress next round.
-            continue;
-        };
-        accepted = (0..k)
-            .map(|i| t.schedule.is_accepted(metis_workload::RequestId(i as u32)))
-            .collect();
-        record(
-            Phase::Taa,
-            t.schedule,
-            t.evaluation,
-            &mut best_schedule,
-            &mut best_eval,
-            &mut history,
-        );
+            // BL-SPM Solver: re-select requests under the tightened budget.
+            let t = contained_solve(
+                Phase::Taa,
+                round + 1,
+                &mut taa_attempts,
+                faults,
+                &mut incidents,
+                config.warm_start,
+                tele,
+                |cold| run_taa(&caps, cold),
+            );
+            rounds = round + 1;
+            let Some(t) = t else {
+                // Skip the round's update: the accepted set and the SP
+                // Updater's record stand; the tightened budget carries over
+                // so the limiter still makes progress next round.
+                break 'round;
+            };
+            accepted = (0..k)
+                .map(|i| t.schedule.is_accepted(metis_workload::RequestId(i as u32)))
+                .collect();
+            record(
+                Phase::Taa,
+                t.schedule,
+                t.evaluation,
+                &mut best_schedule,
+                &mut best_eval,
+                &mut history,
+            );
 
-        if accepted.iter().all(|&a| !a) {
+            if accepted.iter().all(|&a| !a) {
+                stop = true;
+                break 'round;
+            }
+
+            // RL-SPM Solver: re-minimize cost for the surviving set.
+            let m = contained_solve(
+                Phase::Maa,
+                round + 1,
+                &mut maa_attempts,
+                faults,
+                &mut incidents,
+                config.warm_start,
+                tele,
+                |cold| run_maa(&accepted, cold),
+            );
+            let Some(m) = m else {
+                // Skip only the budget refinement; the TAA schedule above is
+                // already recorded.
+                break 'round;
+            };
+            for (c, &m_c) in caps.iter_mut().zip(&m.evaluation.charged) {
+                *c = c.min(m_c);
+            }
+            record(
+                Phase::Maa,
+                m.schedule,
+                m.evaluation,
+                &mut best_schedule,
+                &mut best_eval,
+                &mut history,
+            );
+        }
+        drop(round_span);
+        if let Some(start) = round_start {
+            tele.observe(names::ROUND_DURATION_US, start.elapsed().as_micros() as f64);
+        }
+        tele.incr(names::ROUNDS);
+        tele.push(names::ROUND_PROFIT, best_eval.profit);
+        if stop {
             break;
         }
-
-        // RL-SPM Solver: re-minimize cost for the surviving set.
-        let m = contained_solve(
-            Phase::Maa,
-            round + 1,
-            &mut maa_attempts,
-            faults,
-            &mut incidents,
-            config.warm_start,
-            |cold| run_maa(&accepted, cold),
-        );
-        let Some(m) = m else {
-            // Skip only the budget refinement; the TAA schedule above is
-            // already recorded.
-            continue;
-        };
-        for (c, &m_c) in caps.iter_mut().zip(&m.evaluation.charged) {
-            *c = c.min(m_c);
-        }
-        record(
-            Phase::Maa,
-            m.schedule,
-            m.evaluation,
-            &mut best_schedule,
-            &mut best_eval,
-            &mut history,
-        );
     }
 
     Ok(MetisResult {
@@ -434,6 +560,7 @@ pub fn metis_with_faults(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rlspm::maa;
     use metis_netsim::topologies;
     use metis_workload::{generate, WorkloadConfig};
 
@@ -560,6 +687,67 @@ mod tests {
         // The SP Updater keeps the best record, so the final profit
         // dominates the warm run's own accept-all initialization.
         assert!(a.evaluation.profit >= a.history[0].profit - 1e-9);
+    }
+
+    #[test]
+    fn instrumented_run_matches_plain_and_records() {
+        let inst = instance(20, 8);
+        for warm_start in [false, true] {
+            let cfg = MetisConfig {
+                theta: 3,
+                warm_start,
+                ..MetisConfig::default()
+            };
+            let plain = metis(&inst, &cfg).unwrap();
+            let tele = Telemetry::enabled();
+            let run = metis_instrumented(&inst, &cfg, &FaultPlan::none(), &tele).unwrap();
+            assert_eq!(run.schedule, plain.schedule, "warm_start = {warm_start}");
+            assert_eq!(run.history, plain.history);
+            assert_eq!(run.evaluation, plain.evaluation);
+            if let Some(s) = tele.snapshot() {
+                assert!(s.counter(names::LP_SIMPLEX_ITERATIONS) > 0);
+                assert!(s.counter(names::ROUNDS) >= 1);
+                let rounds = s.histogram(names::ROUND_DURATION_US).expect("histogram");
+                assert!(rounds.count >= 1);
+                assert!(!s
+                    .series(names::TAA_MU)
+                    .expect("mu series")
+                    .points
+                    .is_empty());
+                if warm_start {
+                    assert!(s.counter(names::LP_WARM_BASIS_REUSE) > 0);
+                }
+                assert_eq!(s.counter(names::INCIDENT_SOLVE_FAILED), 0);
+                let round_span = s.span(names::SPAN_ROUND).expect("round span");
+                assert_eq!(round_span.parent.as_deref(), Some(names::SPAN_METIS));
+            }
+        }
+    }
+
+    #[test]
+    fn incidents_display_and_reach_event_stream() {
+        let inst = instance(15, 9);
+        let cfg = MetisConfig {
+            theta: 2,
+            warm_start: true,
+            ..MetisConfig::default()
+        };
+        let faults = FaultPlan::none().fail_at_with(Phase::Taa, 0, SolveError::Singular);
+        let tele = Telemetry::enabled();
+        let run = metis_instrumented(&inst, &cfg, &faults, &tele).unwrap();
+        assert!(run.warm_retries() >= 1);
+        for incident in &run.incidents {
+            assert!(!incident.to_string().is_empty());
+        }
+        if let Some(s) = tele.snapshot() {
+            assert_eq!(
+                s.counter(names::INCIDENT_WARM_RETRY),
+                run.warm_retries() as u64
+            );
+            assert_eq!(s.events.len(), run.incidents.len());
+            assert!(s.events.iter().all(|e| e.kind == names::EVENT_INCIDENT));
+            assert!(s.events[0].message.contains("TAA"));
+        }
     }
 
     #[test]

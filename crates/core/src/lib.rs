@@ -54,6 +54,7 @@ mod faults;
 mod framework;
 mod instance;
 mod limiter;
+mod obs;
 mod online;
 mod parallel;
 mod rlspm;
@@ -61,22 +62,24 @@ mod schedule;
 
 pub use analysis::{analyze, LinkOutcome, RequestOutcome, ScheduleAnalysis};
 pub use blspm::{
-    solve_blspm_relaxation, taa, taa_with_solver, BlspmRelaxation, BlspmWarmSolver, TaaOptions,
-    TaaResult,
+    solve_blspm_relaxation, taa, taa_instrumented, taa_with_solver, BlspmRelaxation,
+    BlspmWarmSolver, TaaOptions, TaaResult,
 };
 pub use error::{InstanceError, MetisError};
 pub use faults::FaultPlan;
 pub use framework::{
-    metis, metis_with_faults, Incident, IterationRecord, MetisConfig, MetisResult, Phase,
+    metis, metis_instrumented, metis_with_faults, Incident, IterationRecord, MetisConfig,
+    MetisResult, Phase,
 };
 pub use instance::{SpmInstance, DEFAULT_PATHS_PER_PAIR};
 pub use limiter::LimiterRule;
 pub use online::{
-    online_metis, online_metis_with_faults, EpochRecord, OnlineOptions, OnlineResult,
+    online_metis, online_metis_instrumented, online_metis_with_faults, EpochRecord, OnlineOptions,
+    OnlineResult,
 };
 pub use parallel::ParallelConfig;
 pub use rlspm::{
-    maa, maa_with_solver, round_schedule, solve_rlspm_relaxation, MaaOptions, MaaResult,
-    RlspmRelaxation, RlspmWarmSolver,
+    maa, maa_instrumented, maa_with_solver, round_schedule, solve_rlspm_relaxation, MaaOptions,
+    MaaResult, RlspmRelaxation, RlspmWarmSolver,
 };
 pub use schedule::{CapacityViolation, Evaluation, Schedule};

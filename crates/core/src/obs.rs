@@ -1,0 +1,23 @@
+//! Internal glue between the pipeline and the telemetry layer.
+
+use metis_lp::SolveStats;
+use metis_telemetry::{names, Telemetry};
+
+/// Records one LP solve's work counters into the shared registry.
+pub(crate) fn record_lp_stats(tele: &Telemetry, stats: &SolveStats) {
+    if !tele.is_enabled() {
+        return;
+    }
+    tele.add(names::LP_SIMPLEX_ITERATIONS, stats.iterations as u64);
+    tele.add(names::LP_SIMPLEX_PHASE1, stats.phase1_iterations as u64);
+    tele.add(names::LP_SIMPLEX_DUAL, stats.dual_iterations as u64);
+    tele.add(names::LP_SIMPLEX_BOUND_FLIPS, stats.bound_flips as u64);
+    tele.add(names::LP_SIMPLEX_REFRESHES, stats.refreshes as u64);
+    tele.add(names::LP_PRESOLVE_ROWS, stats.presolve_removed_rows as u64);
+    tele.add(names::LP_PRESOLVE_VARS, stats.presolve_removed_vars as u64);
+    if stats.warm_started {
+        tele.incr(names::LP_WARM_BASIS_REUSE);
+    } else {
+        tele.incr(names::LP_COLD_SOLVES);
+    }
+}

@@ -12,11 +12,12 @@
 //! as if it were alone on the WAN, while the final bill (peak-based,
 //! shared across epochs) can only be lower than the sum of the parts.
 
+use metis_telemetry::{names, Telemetry};
 use metis_workload::RequestId;
 
 use crate::error::MetisError;
 use crate::faults::FaultPlan;
-use crate::framework::{metis_with_faults, Incident, MetisConfig};
+use crate::framework::{metis_instrumented, note_incident, Incident, MetisConfig};
 use crate::instance::SpmInstance;
 use crate::schedule::{Evaluation, Schedule};
 
@@ -142,7 +143,36 @@ pub fn online_metis_with_faults(
     options: &OnlineOptions,
     faults: &FaultPlan,
 ) -> Result<OnlineResult, MetisError> {
+    online_metis_instrumented(instance, options, faults, &Telemetry::disabled())
+}
+
+/// Runs online Metis under a [`FaultPlan`], recording telemetry into
+/// `tele`.
+///
+/// The whole run executes under the `online` span; each epoch gets an
+/// `online.epoch` child span (the inner Metis run's spans nest below
+/// it), the per-epoch accepted count and cumulative profit are pushed to
+/// the `online.epoch.accepted` / `online.epoch.profit` series, and every
+/// skipped epoch is counted in `incident.epoch_skipped` and emitted on
+/// the event stream as well as recorded in [`OnlineResult::incidents`].
+/// Recording is write-only — passing [`Telemetry::disabled`] (what
+/// [`online_metis_with_faults`] does) yields bit-identical results.
+///
+/// # Errors
+///
+/// Same as [`online_metis`].
+///
+/// # Panics
+///
+/// Panics if `options.epochs == 0`.
+pub fn online_metis_instrumented(
+    instance: &SpmInstance,
+    options: &OnlineOptions,
+    faults: &FaultPlan,
+    tele: &Telemetry,
+) -> Result<OnlineResult, MetisError> {
     assert!(options.epochs >= 1, "need at least one epoch");
+    let _online = tele.span(names::SPAN_ONLINE);
     let k = instance.num_requests();
     let slots = instance.num_slots();
 
@@ -157,18 +187,22 @@ pub fn online_metis_with_faults(
     let mut trace = Vec::with_capacity(options.epochs);
     let mut incidents: Vec<Incident> = Vec::new();
     for (e, members) in per_epoch.iter().enumerate() {
+        let _epoch = tele.span(names::SPAN_EPOCH);
         let mut accepted_here = 0;
         if !members.is_empty() {
             let epoch_run = match faults.epoch_fault(e) {
                 Some(error) => Err(MetisError::Solve(error)),
-                None => metis_with_faults(
+                None => metis_instrumented(
                     &instance.subset(members),
                     &options.metis,
                     &FaultPlan::none(),
+                    tele,
                 ),
             };
             match epoch_run {
                 Ok(result) => {
+                    // Inner incidents were already counted and emitted as
+                    // events by the inner run; only collect them here.
                     incidents.extend(result.incidents.iter().cloned());
                     for (local, &original) in members.iter().enumerate() {
                         let choice = result.schedule.path_choice(RequestId(local as u32));
@@ -181,16 +215,22 @@ pub fn online_metis_with_faults(
                 Err(MetisError::Solve(error)) => {
                     // Degrade: this epoch's requests stay declined; the
                     // epochs before and after are untouched.
-                    incidents.push(Incident::EpochSkipped {
-                        epoch: e,
-                        arrived: members.len(),
-                        error,
-                    });
+                    note_incident(
+                        tele,
+                        &mut incidents,
+                        Incident::EpochSkipped {
+                            epoch: e,
+                            arrived: members.len(),
+                            error,
+                        },
+                    );
                 }
                 Err(e @ MetisError::Instance(_)) => return Err(e),
             }
         }
         let eval = combined.evaluate(instance);
+        tele.push(names::ONLINE_EPOCH_ACCEPTED, accepted_here as f64);
+        tele.push(names::ONLINE_EPOCH_PROFIT, eval.profit);
         trace.push(EpochRecord {
             epoch: e,
             arrived: members.len(),

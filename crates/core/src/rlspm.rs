@@ -17,7 +17,8 @@ use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 
-use metis_lp::{Basis, Problem, Relation, Sense, SolveError, SolveOptions};
+use metis_lp::{Basis, Problem, Relation, Sense, SolveError, SolveOptions, SolveStats};
+use metis_telemetry::{names, Telemetry};
 use metis_workload::RequestId;
 
 use crate::instance::SpmInstance;
@@ -69,6 +70,8 @@ pub struct RlspmRelaxation {
     pub c: Vec<f64>,
     /// Fractional cost `Σ u_e ĉ_e` — a lower bound on any integral cost.
     pub cost: f64,
+    /// Work counters from the LP solve that produced this relaxation.
+    pub stats: SolveStats,
 }
 
 impl RlspmRelaxation {
@@ -185,6 +188,7 @@ pub fn solve_rlspm_relaxation(
         x,
         c,
         cost: sol.objective(),
+        stats: *sol.stats(),
     })
 }
 
@@ -372,6 +376,7 @@ impl RlspmWarmSolver {
             x,
             c,
             cost: sol.objective(),
+            stats: *sol.stats(),
         })
     }
 
@@ -411,8 +416,51 @@ pub fn maa_with_solver(
     options: &MaaOptions,
     solver: &mut RlspmWarmSolver,
 ) -> Result<MaaResult, SolveError> {
-    let relaxation = solver.solve(accepted, &options.lp)?;
-    Ok(maa_from_relaxation(instance, accepted, options, relaxation))
+    maa_instrumented(
+        instance,
+        accepted,
+        options,
+        Some(solver),
+        &Telemetry::disabled(),
+    )
+}
+
+/// Runs MAA with optional warm starts, recording telemetry into `tele`.
+///
+/// This is the instrumented superset of [`maa`] (pass `None` for
+/// `solver`) and [`maa_with_solver`] (pass `Some`): the relaxation solve
+/// runs under the `maa.relax` span, the rounding trials under
+/// `maa.rounding`, LP work counters land in the `lp.*` metrics, and each
+/// trial's profit is observed into the `maa.trials.profit` histogram.
+/// Recording is write-only — passing [`Telemetry::disabled`] (what the
+/// plain entry points do) yields bit-identical results.
+///
+/// # Errors
+///
+/// Propagates LP failures from the relaxation stage.
+///
+/// # Panics
+///
+/// Panics as [`maa`] does, or if `solver` was built from a different
+/// instance.
+pub fn maa_instrumented(
+    instance: &SpmInstance,
+    accepted: &[bool],
+    options: &MaaOptions,
+    solver: Option<&mut RlspmWarmSolver>,
+    tele: &Telemetry,
+) -> Result<MaaResult, SolveError> {
+    let relaxation = {
+        let _relax = tele.span(names::SPAN_MAA_RELAX);
+        match solver {
+            Some(s) => s.solve(accepted, &options.lp)?,
+            None => solve_rlspm_relaxation(instance, accepted, &options.lp)?,
+        }
+    };
+    crate::obs::record_lp_stats(tele, &relaxation.stats);
+    Ok(maa_from_relaxation(
+        instance, accepted, options, relaxation, tele,
+    ))
 }
 
 /// Runs MAA over the accepted requests: relax → round → ceil.
@@ -450,8 +498,7 @@ pub fn maa(
     accepted: &[bool],
     options: &MaaOptions,
 ) -> Result<MaaResult, SolveError> {
-    let relaxation = solve_rlspm_relaxation(instance, accepted, &options.lp)?;
-    Ok(maa_from_relaxation(instance, accepted, options, relaxation))
+    maa_instrumented(instance, accepted, options, None, &Telemetry::disabled())
 }
 
 /// Rounding + ceiling stages of MAA, given an already-solved relaxation.
@@ -465,7 +512,9 @@ fn maa_from_relaxation(
     accepted: &[bool],
     options: &MaaOptions,
     relaxation: RlspmRelaxation,
+    tele: &Telemetry,
 ) -> MaaResult {
+    let _rounding = tele.span(names::SPAN_MAA_ROUNDING);
     let trials = options.parallel.effective_trials(options.rounding_repeats);
     assert!(trials >= 1, "need at least one rounding");
     let threads = options.parallel.effective_threads();
@@ -475,6 +524,20 @@ fn maa_from_relaxation(
         let cost = schedule.load(instance).total_cost(instance.topology());
         (cost, schedule)
     });
+    // Observed after the index-ordered reduction, on the caller's thread,
+    // so recording never races and never perturbs the parallel region.
+    if tele.is_enabled() {
+        let revenue: f64 = instance
+            .requests()
+            .iter()
+            .zip(accepted)
+            .filter(|(_, &a)| a)
+            .map(|(r, _)| r.value)
+            .sum();
+        for (cost, _) in &rounded {
+            tele.observe(names::MAA_TRIALS_PROFIT, revenue - cost);
+        }
+    }
     let mut best: Option<(f64, Schedule)> = None;
     for (cost, schedule) in rounded {
         if best.as_ref().is_none_or(|(c, _)| cost < *c) {

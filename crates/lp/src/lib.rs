@@ -47,4 +47,4 @@ pub use ilp::{solve_ilp, solve_ilp_with_start, IlpOptions, IlpSolution, IlpStatu
 pub use model::{Problem, Relation, RowId, Sense, VarId};
 pub use presolve::{presolve, presolve_and_solve, PresolveReport, Restoration};
 pub use simplex::{Basis, SolveOptions};
-pub use solution::Solution;
+pub use solution::{Solution, SolveStats};

@@ -70,7 +70,7 @@ impl Restoration {
             .collect();
         let obj = reduced.objective() + self.objective_offset;
         let _ = self.sense;
-        Solution::new(obj, values, reduced.iterations())
+        Solution::new(obj, values, reduced.iterations()).with_stats(*reduced.stats())
     }
 }
 
@@ -319,9 +319,15 @@ pub fn presolve(problem: &Problem) -> Result<(Problem, Restoration, PresolveRepo
 ///
 /// Propagates presolve detections and simplex failures.
 pub fn presolve_and_solve(problem: &Problem) -> Result<Solution, SolveError> {
-    let (reduced, restoration, _) = presolve(problem)?;
+    let (reduced, restoration, report) = presolve(problem)?;
     let sol = reduced.solve()?;
-    Ok(restoration.restore(&sol))
+    let restored = restoration.restore(&sol);
+    let stats = crate::solution::SolveStats {
+        presolve_removed_rows: report.removed_rows,
+        presolve_removed_vars: report.removed_vars,
+        ..*restored.stats()
+    };
+    Ok(restored.with_stats(stats))
 }
 
 #[cfg(test)]

@@ -24,7 +24,7 @@
 use crate::error::SolveError;
 use crate::matrix::{CscBuilder, CscMatrix};
 use crate::model::{Problem, Relation, Sense};
-use crate::solution::Solution;
+use crate::solution::{Solution, SolveStats};
 
 /// Tuning knobs for the simplex solver.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -158,6 +158,13 @@ struct Simplex {
     degenerate_streak: usize,
     pivots_since_refresh: usize,
 
+    // Work counters reported through `Solution::stats`.
+    phase1_iterations: usize,
+    dual_iterations: usize,
+    bound_flips: usize,
+    refreshes: usize,
+    warm_started: bool,
+
     // Scratch buffers reused across iterations.
     y: Vec<f64>,
     w: Vec<f64>,
@@ -247,6 +254,11 @@ impl Simplex {
             max_iterations,
             degenerate_streak: 0,
             pivots_since_refresh: 0,
+            phase1_iterations: 0,
+            dual_iterations: 0,
+            bound_flips: 0,
+            refreshes: 0,
+            warm_started: false,
             y: vec![0.0; m],
             w: vec![0.0; m],
         }
@@ -361,6 +373,7 @@ impl Simplex {
             }
 
             self.optimize()?;
+            self.phase1_iterations = self.iterations;
 
             let phase1_obj = self.current_objective();
             if phase1_obj > self.opts.tol.max(1e-6) {
@@ -421,6 +434,7 @@ impl Simplex {
         if warm.n_struct != self.n_struct || warm.state.len() != nm {
             return Err(SolveError::Singular);
         }
+        self.warm_started = true;
         // Restore statuses, reconciling nonbasic states with the current
         // bounds (a tightened bound may have invalidated the old resting
         // side).
@@ -542,6 +556,7 @@ impl Simplex {
                 return Ok(()); // primal feasible
             };
             self.iterations += 1;
+            self.dual_iterations += 1;
 
             let bj = self.basis[row] as usize;
             let target = if at_upper {
@@ -663,7 +678,19 @@ impl Simplex {
                 *d = -*d;
             }
         }
-        Ok(Solution::new(obj, x, self.iterations).with_duals(duals))
+        let stats = SolveStats {
+            iterations: self.iterations,
+            phase1_iterations: self.phase1_iterations,
+            dual_iterations: self.dual_iterations,
+            bound_flips: self.bound_flips,
+            refreshes: self.refreshes,
+            warm_started: self.warm_started,
+            presolve_removed_rows: 0,
+            presolve_removed_vars: 0,
+        };
+        Ok(Solution::new(obj, x, self.iterations)
+            .with_stats(stats)
+            .with_duals(duals))
     }
 
     /// Objective of the current basic solution under `self.cost`.
@@ -850,6 +877,7 @@ impl Simplex {
     /// Entering variable traverses its whole range without any basic
     /// variable blocking: flip it to the opposite bound.
     fn apply_bound_flip(&mut self, col: usize, dir: f64, step: f64) {
+        self.bound_flips += 1;
         for i in 0..self.m() {
             self.xb[i] -= step * dir * self.w[i];
         }
@@ -938,6 +966,7 @@ impl Simplex {
 
     /// Recomputes `B⁻¹` and the basic values from scratch.
     fn refresh(&mut self) -> Result<(), SolveError> {
+        self.refreshes += 1;
         self.pivots_since_refresh = 0;
         let m = self.m();
         // Assemble B column-wise into an augmented [B | I] dense matrix and
@@ -1427,6 +1456,33 @@ mod tests {
         p.add_constraint([(x, 1.0), (y, 1.0)], Relation::Le, 6.0);
         let (sol, _) = p.solve_with_basis(&opts, Some(&alien)).unwrap();
         assert_close(sol.objective(), 11.0); // y = 5, x = 1
+    }
+
+    #[test]
+    fn stats_report_work_counters() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(3.0, 0.0, f64::INFINITY);
+        let y = p.add_var(5.0, 0.0, f64::INFINITY);
+        p.add_constraint([(x, 1.0)], Relation::Le, 4.0);
+        p.add_constraint([(y, 2.0)], Relation::Le, 12.0);
+        p.add_constraint([(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        let opts = SolveOptions::default();
+        let (cold, basis) = p.solve_with_basis(&opts, None).unwrap();
+        let cs = cold.stats();
+        assert!(cs.iterations > 0);
+        assert_eq!(cs.iterations, cold.iterations());
+        assert!(!cs.warm_started);
+        assert_eq!(cs.dual_iterations, 0);
+
+        // Tighten a bound and reoptimize warm: the dual simplex runs.
+        let mut q = p.clone();
+        q.set_bounds(y, 0.0, 4.0);
+        let (warm, _) = q.solve_with_basis(&opts, Some(&basis)).unwrap();
+        let ws = warm.stats();
+        assert!(ws.warm_started);
+        assert!(ws.dual_iterations > 0);
+        assert!(ws.refreshes >= 1, "warm start refactorizes the basis");
+        assert!(ws.iterations >= ws.dual_iterations);
     }
 
     #[test]

@@ -2,13 +2,41 @@
 
 use crate::model::{RowId, VarId};
 
+/// Work counters from one solve, attached to every [`Solution`].
+///
+/// These feed the workspace's telemetry layer (simplex iteration and
+/// pivot accounting, warm-start effectiveness, presolve reductions)
+/// without the solver depending on it: the solver only counts, the
+/// caller decides where the counts go.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Simplex pivots across all phases (primal + dual; for MILP,
+    /// summed over all branch-and-bound nodes).
+    pub iterations: usize,
+    /// Pivots spent in phase 1 (restoring feasibility).
+    pub phase1_iterations: usize,
+    /// Pivots performed by the dual simplex (warm-start reoptimization).
+    pub dual_iterations: usize,
+    /// Ratio tests that ended in a bound flip instead of a pivot.
+    pub bound_flips: usize,
+    /// Basis refactorizations (periodic refresh plus warm-start setup).
+    pub refreshes: usize,
+    /// Whether this solve reoptimized from a supplied basis rather than
+    /// starting cold.
+    pub warm_started: bool,
+    /// Rows removed by presolve (0 unless the presolve path ran).
+    pub presolve_removed_rows: usize,
+    /// Variables removed by presolve (0 unless the presolve path ran).
+    pub presolve_removed_vars: usize,
+}
+
 /// An optimal (or, for MILP with limits, best-found) solution.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Solution {
     objective: f64,
     values: Vec<f64>,
     duals: Option<Vec<f64>>,
-    iterations: usize,
+    stats: SolveStats,
 }
 
 impl Solution {
@@ -17,12 +45,20 @@ impl Solution {
             objective,
             values,
             duals: None,
-            iterations,
+            stats: SolveStats {
+                iterations,
+                ..SolveStats::default()
+            },
         }
     }
 
     pub(crate) fn with_duals(mut self, duals: Vec<f64>) -> Self {
         self.duals = Some(duals);
+        self
+    }
+
+    pub(crate) fn with_stats(mut self, stats: SolveStats) -> Self {
+        self.stats = stats;
         self
     }
 
@@ -67,7 +103,12 @@ impl Solution {
     /// Number of simplex pivots performed (summed over phases; for MILP,
     /// over all nodes).
     pub fn iterations(&self) -> usize {
-        self.iterations
+        self.stats.iterations
+    }
+
+    /// Detailed work counters for this solve.
+    pub fn stats(&self) -> &SolveStats {
+        &self.stats
     }
 
     /// Consumes the solution, returning the raw value vector.

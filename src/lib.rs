@@ -8,7 +8,9 @@
 //!   peak-based billing);
 //! * [`workload`] — the synthetic bandwidth-reservation workload of §V-A;
 //! * [`core`] — the Metis framework: MAA, TAA, BW limiter, SP updater;
-//! * [`baselines`] — MinCost, Amoeba, EcoFlow, and exact MILP optima.
+//! * [`baselines`] — MinCost, Amoeba, EcoFlow, and exact MILP optima;
+//! * [`telemetry`] — spans, metrics, and snapshot export (see
+//!   DESIGN.md §7 "Observability").
 //!
 //! # Quick start
 //!
@@ -32,4 +34,5 @@ pub use metis_baselines as baselines;
 pub use metis_core as core;
 pub use metis_lp as lp;
 pub use metis_netsim as netsim;
+pub use metis_telemetry as telemetry;
 pub use metis_workload as workload;
