@@ -24,11 +24,7 @@ pub fn mincost(instance: &SpmInstance) -> Schedule {
         let best = paths
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| {
-                a.price(topo)
-                    .partial_cmp(&b.price(topo))
-                    .expect("finite prices")
-            })
+            .min_by(|(_, a), (_, b)| a.price(topo).total_cmp(&b.price(topo)))
             .map(|(j, _)| j)
             .expect("non-empty path set");
         schedule.set(RequestId(i as u32), Some(best));

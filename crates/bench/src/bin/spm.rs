@@ -224,6 +224,7 @@ struct Args {
     json: bool,
     compare: bool,
     analyze: bool,
+    audit: bool,
     opt_seconds: Option<u64>,
     scenario: Option<String>,
     telemetry: Option<String>,
@@ -241,6 +242,7 @@ impl Default for Args {
             json: false,
             compare: false,
             analyze: false,
+            audit: false,
             opt_seconds: None,
             scenario: None,
             telemetry: None,
@@ -250,8 +252,9 @@ impl Default for Args {
 }
 
 const USAGE: &str = "usage: spm [--network b4|sub-b4] [--requests K] [--seed S] \
-[--theta T] [--paths P] [--opt-seconds N] [--compare] [--analyze] [--json] [--scenario FILE.json] \
+[--theta T] [--paths P] [--opt-seconds N] [--compare] [--analyze] [--audit] [--json] [--scenario FILE.json] \
 [--telemetry OUT.json] [--telemetry-prometheus OUT.prom]\nnetworks: b4, sub-b4, abilene, geant (or a random spec in a scenario file)\n\
+--audit certifies every LP solution and re-derives every schedule's load and\naccounting from scratch (always on in debug builds); the report lands in the\noutput (and the exit status: violations fail the run)\n\
 --telemetry* flags capture per-phase spans and solver metrics during the run and\nwrite the snapshot to the given file (JSON or Prometheus text format)";
 
 fn parse_args() -> Result<Args, String> {
@@ -294,6 +297,7 @@ fn parse_args() -> Result<Args, String> {
             "--json" => args.json = true,
             "--compare" => args.compare = true,
             "--analyze" => args.analyze = true,
+            "--audit" => args.audit = true,
             "--scenario" => args.scenario = Some(value("--scenario")?),
             "--telemetry" => args.telemetry = Some(value("--telemetry")?),
             "--telemetry-prometheus" => {
@@ -379,6 +383,32 @@ impl IncidentsOut {
     }
 }
 
+/// One run's [`metis_core::AuditReport`], rendered for the output.
+struct AuditOut {
+    checks: usize,
+    violations: Vec<String>,
+}
+
+impl AuditOut {
+    fn from_report(report: &metis_core::AuditReport) -> AuditOut {
+        AuditOut {
+            checks: report.checks,
+            violations: report.violations.iter().map(|v| v.to_string()).collect(),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        obj([
+            ("checks", self.checks.into()),
+            ("clean", self.violations.is_empty().into()),
+            (
+                "violations",
+                Json::Arr(self.violations.iter().map(|v| v.as_str().into()).collect()),
+            ),
+        ])
+    }
+}
+
 struct Output {
     network: String,
     requests: usize,
@@ -386,6 +416,7 @@ struct Output {
     theta: usize,
     metis: SolverOut,
     incidents: IncidentsOut,
+    audit: Option<AuditOut>,
     comparisons: Vec<SolverOut>,
     decisions: Vec<DecisionOut>,
 }
@@ -399,6 +430,13 @@ impl Output {
             ("theta", self.theta.into()),
             ("metis", self.metis.to_json()),
             ("incidents", self.incidents.to_json()),
+            (
+                "audit",
+                match &self.audit {
+                    Some(a) => a.to_json(),
+                    None => Json::Null,
+                },
+            ),
             (
                 "comparisons",
                 Json::Arr(self.comparisons.iter().map(SolverOut::to_json).collect()),
@@ -459,16 +497,25 @@ fn main() {
         Telemetry::disabled()
     };
 
-    let result = metis_instrumented(
-        &instance,
-        &MetisConfig::with_theta(scenario.theta),
-        &FaultPlan::none(),
-        &tele,
-    )
-    .unwrap_or_else(|e| {
-        eprintln!("metis failed: {e}");
-        std::process::exit(1);
-    });
+    let config = MetisConfig {
+        audit: args.audit,
+        ..MetisConfig::with_theta(scenario.theta)
+    };
+    let mut result = metis_instrumented(&instance, &config, &FaultPlan::none(), &tele)
+        .unwrap_or_else(|e| {
+            eprintln!("metis failed: {e}");
+            std::process::exit(1);
+        });
+
+    // With a dedicated registry for this one run, the telemetry counters
+    // must agree exactly with the returned incident list — fold that
+    // cross-check into the audit report.
+    if let (Some(acc), Some(snap)) = (result.audit.as_mut(), tele.snapshot()) {
+        acc.merge(metis_core::check_incident_agreement(
+            &result.incidents,
+            &snap,
+        ));
+    }
 
     let solver_out = |name: &str, ev: &metis_core::Evaluation| SolverOut {
         name: name.into(),
@@ -546,6 +593,7 @@ fn main() {
             failed_rounds: result.failed_rounds(),
             warm_retries: result.warm_retries(),
         },
+        audit: result.audit.as_ref().map(AuditOut::from_report),
         comparisons,
         decisions,
     };
@@ -566,6 +614,20 @@ fn main() {
                 "incidents: {} failed round(s), {} warm retry(ies) — run degraded but completed",
                 out.incidents.failed_rounds, out.incidents.warm_retries
             );
+        }
+        if let Some(a) = &out.audit {
+            if a.violations.is_empty() {
+                println!("audit: clean ({} checks)", a.checks);
+            } else {
+                println!(
+                    "audit: {} of {} checks VIOLATED:",
+                    a.violations.len(),
+                    a.checks
+                );
+                for v in &a.violations {
+                    println!("  {v}");
+                }
+            }
         }
         for c in &out.comparisons {
             println!(
@@ -609,6 +671,13 @@ fn main() {
                 "telemetry requested but the `capture` feature is compiled out; \
 rebuild metis-telemetry with default features"
             ),
+        }
+    }
+
+    if let Some(report) = &result.audit {
+        if !report.is_clean() {
+            eprintln!("audit found {} violation(s)", report.violations.len());
+            std::process::exit(1);
         }
     }
 }

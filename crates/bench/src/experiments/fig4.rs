@@ -162,7 +162,7 @@ pub fn run_rounding(options: &Fig4Options) -> Table {
                     schedule.load(&instance).total_cost(instance.topology()) / denom
                 })
                 .collect();
-            ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            ratios.sort_by(|a, b| a.total_cmp(b));
             let p95 = ratios[(ratios.len() as f64 * 0.95) as usize - 1];
             table.push_row(vec![
                 format!("{name} K={}", options.rounding_k),
@@ -198,7 +198,7 @@ pub fn run_rounding(options: &Fig4Options) -> Table {
                     schedule.load(&instance).total_cost(instance.topology()) / denom
                 })
                 .collect();
-            ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            ratios.sort_by(|a, b| a.total_cmp(b));
             let p95 = ratios[(ratios.len() as f64 * 0.95) as usize - 1];
             table.push_row(vec![
                 format!("B4 K={k} (vs LP)"),

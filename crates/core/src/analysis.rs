@@ -155,11 +155,7 @@ pub fn analyze(instance: &SpmInstance, schedule: &Schedule) -> ScheduleAnalysis 
             users: edge_users[e.index()],
         })
         .collect();
-    links.sort_by(|a, b| {
-        b.cost
-            .partial_cmp(&a.cost)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    links.sort_by(|a, b| b.cost.total_cmp(&a.cost));
 
     let cost: f64 = edge_cost.iter().sum();
     ScheduleAnalysis {
@@ -176,11 +172,7 @@ impl ScheduleAnalysis {
     pub fn most_profitable(&self) -> Vec<&RequestOutcome> {
         let mut out: Vec<&RequestOutcome> =
             self.requests.iter().filter(|r| r.path.is_some()).collect();
-        out.sort_by(|a, b| {
-            b.attributed_profit
-                .partial_cmp(&a.attributed_profit)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        });
+        out.sort_by(|a, b| b.attributed_profit.total_cmp(&a.attributed_profit));
         out
     }
 

@@ -486,6 +486,7 @@ fn taa_from_relaxation(
                 }
             }
         }
+        // metis-lint: allow(PANIC-01): the loop above unconditionally scores the decline option
         let decline_u = scores[num_paths].expect("decline always evaluates");
         if decline_u < best_u {
             chosen = None;
@@ -538,8 +539,7 @@ fn taa_from_relaxation(
     by_value.sort_by(|&a, &b| {
         instance.requests()[b]
             .value
-            .partial_cmp(&instance.requests()[a].value)
-            .unwrap_or(std::cmp::Ordering::Equal)
+            .total_cmp(&instance.requests()[a].value)
     });
     for i in by_value {
         let req = instance.request(RequestId(i as u32));

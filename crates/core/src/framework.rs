@@ -48,6 +48,13 @@ pub struct MetisConfig {
     pub maa: MaaOptions,
     /// BL-SPM solver (TAA) options.
     pub taa: TaaOptions,
+    /// Audit every solve: certify each LP solution independently
+    /// ([`metis_lp::SolveOptions::verify`]) and re-derive each recorded
+    /// schedule's load, peaks, and accounting from scratch
+    /// ([`crate::audit`]), collecting the outcome in
+    /// [`MetisResult::audit`]. Always on under `debug_assertions`;
+    /// this flag forces it in release builds too.
+    pub audit: bool,
 }
 
 impl MetisConfig {
@@ -186,6 +193,10 @@ pub struct MetisResult {
     /// Contained failures, in the order they were observed. Empty on a
     /// healthy run.
     pub incidents: Vec<Incident>,
+    /// Outcome of the solution audits ([`crate::audit`]) run over every
+    /// recorded schedule. `Some` whenever auditing was active
+    /// ([`MetisConfig::audit`] or `debug_assertions`), `None` otherwise.
+    pub audit: Option<crate::audit::AuditReport>,
 }
 
 impl MetisResult {
@@ -363,14 +374,21 @@ pub fn metis_instrumented(
     let mut maa_attempts = 0usize;
     let mut taa_attempts = 0usize;
 
-    let maa_opts = MaaOptions {
+    // Auditing is always on in debug builds; `config.audit` forces it in
+    // release builds and additionally certifies every LP solution.
+    let auditing = config.audit || cfg!(debug_assertions);
+    let mut audit_acc = auditing.then(crate::audit::AuditReport::default);
+
+    let mut maa_opts = MaaOptions {
         parallel: config.parallel,
         ..config.maa
     };
-    let taa_opts = TaaOptions {
+    maa_opts.lp.verify = maa_opts.lp.verify || config.audit;
+    let mut taa_opts = TaaOptions {
         parallel: config.parallel,
         ..config.taa
     };
+    taa_opts.lp.verify = taa_opts.lp.verify || config.audit;
     let mut rl_solver = if config.warm_start {
         Some(RlspmWarmSolver::new(instance))
     } else {
@@ -407,7 +425,11 @@ pub fn metis_instrumented(
                   eval: Evaluation,
                   best_s: &mut Schedule,
                   best_e: &mut Evaluation,
-                  history: &mut Vec<IterationRecord>| {
+                  history: &mut Vec<IterationRecord>,
+                  audit_acc: &mut Option<crate::audit::AuditReport>| {
+        if let Some(acc) = audit_acc.as_mut() {
+            acc.merge(crate::audit::audit_schedule(instance, &schedule, &eval));
+        }
         history.push(IterationRecord {
             phase,
             profit: eval.profit,
@@ -427,6 +449,7 @@ pub fn metis_instrumented(
     // exits immediately with the decline-all record — degraded, not dead.
     let mut accepted = vec![true; k];
     let mut caps = vec![0.0; instance.topology().num_edges()];
+    // metis-lint: allow(DET-02): gated behind tele.is_enabled(); never read in deterministic runs
     let round_start = tele.is_enabled().then(Instant::now);
     {
         let _round = tele.span(names::SPAN_ROUND);
@@ -448,6 +471,7 @@ pub fn metis_instrumented(
                 &mut best_schedule,
                 &mut best_eval,
                 &mut history,
+                &mut audit_acc,
             );
         }
     }
@@ -462,6 +486,7 @@ pub fn metis_instrumented(
         if caps.iter().all(|&c| c <= 0.0) {
             break;
         }
+        // metis-lint: allow(DET-02): gated behind tele.is_enabled(); never read in deterministic runs
         let round_start = tele.is_enabled().then(Instant::now);
         let round_span = tele.span(names::SPAN_ROUND);
         let mut stop = false;
@@ -495,6 +520,10 @@ pub fn metis_instrumented(
             accepted = (0..k)
                 .map(|i| t.schedule.is_accepted(metis_workload::RequestId(i as u32)))
                 .collect();
+            if let Some(acc) = audit_acc.as_mut() {
+                // TAA must respect the budget the limiter just set.
+                acc.merge(crate::audit::audit_capacities(instance, &t.schedule, &caps));
+            }
             record(
                 Phase::Taa,
                 t.schedule,
@@ -502,6 +531,7 @@ pub fn metis_instrumented(
                 &mut best_schedule,
                 &mut best_eval,
                 &mut history,
+                &mut audit_acc,
             );
 
             if accepted.iter().all(|&a| !a) {
@@ -535,6 +565,7 @@ pub fn metis_instrumented(
                 &mut best_schedule,
                 &mut best_eval,
                 &mut history,
+                &mut audit_acc,
             );
         }
         drop(round_span);
@@ -548,12 +579,25 @@ pub fn metis_instrumented(
         }
     }
 
+    if let Some(acc) = audit_acc.as_mut() {
+        // Audit the returned record too: the SP Updater's best pair is
+        // what callers act on, so its (schedule, evaluation) agreement is
+        // certified even when it was the untouched decline-all baseline.
+        acc.merge(crate::audit::audit_schedule(
+            instance,
+            &best_schedule,
+            &best_eval,
+        ));
+        acc.record(tele);
+    }
+
     Ok(MetisResult {
         schedule: best_schedule,
         evaluation: best_eval,
         history,
         rounds,
         incidents,
+        audit: audit_acc,
     })
 }
 

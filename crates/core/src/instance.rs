@@ -50,6 +50,7 @@ impl SpmInstance {
         num_slots: usize,
         paths_per_pair: usize,
     ) -> Self {
+        // metis-lint: allow(PANIC-01): documented panicking convenience wrapper over try_new
         Self::try_new(topo, requests, num_slots, paths_per_pair).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -85,6 +86,7 @@ impl SpmInstance {
         num_slots: usize,
         catalog: &PathCatalog,
     ) -> Self {
+        // metis-lint: allow(PANIC-01): documented panicking convenience wrapper over try_with_catalog
         Self::try_with_catalog(topo, requests, num_slots, catalog).unwrap_or_else(|e| panic!("{e}"))
     }
 
@@ -184,6 +186,7 @@ impl SpmInstance {
     ///
     /// Panics if any index is out of range or repeated.
     pub fn subset(&self, indices: &[usize]) -> SpmInstance {
+        // metis-lint: allow(PANIC-01): documented panicking convenience wrapper over try_subset
         self.try_subset(indices).unwrap_or_else(|e| panic!("{e}"))
     }
 

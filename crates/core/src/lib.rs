@@ -47,6 +47,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod analysis;
+pub mod audit;
 mod blspm;
 pub mod chernoff;
 mod error;
@@ -61,6 +62,9 @@ mod rlspm;
 mod schedule;
 
 pub use analysis::{analyze, LinkOutcome, RequestOutcome, ScheduleAnalysis};
+pub use audit::{
+    audit_capacities, audit_schedule, check_incident_agreement, AuditReport, AuditViolation,
+};
 pub use blspm::{
     solve_blspm_relaxation, taa, taa_instrumented, taa_with_solver, BlspmRelaxation,
     BlspmWarmSolver, TaaOptions, TaaResult,

@@ -48,11 +48,7 @@ impl LimiterRule {
                 let target = topo
                     .edge_ids()
                     .filter(|e| caps[e.index()] > 0.0)
-                    .max_by(|a, b| {
-                        topo.price(*a)
-                            .partial_cmp(&topo.price(*b))
-                            .unwrap_or(std::cmp::Ordering::Equal)
-                    });
+                    .max_by(|a, b| topo.price(*a).total_cmp(&topo.price(*b)));
                 if let Some(e) = target {
                     caps[e.index()] = (caps[e.index()] - 1.0).max(0.0);
                 }
@@ -129,8 +125,7 @@ mod tests {
         let target = (0..3)
             .max_by(|&a, &b| {
                 topo.price(EdgeId(a as u32))
-                    .partial_cmp(&topo.price(EdgeId(b as u32)))
-                    .unwrap()
+                    .total_cmp(&topo.price(EdgeId(b as u32)))
             })
             .unwrap();
         assert_eq!(out[target], caps[target] - 1.0);

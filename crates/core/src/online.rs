@@ -65,6 +65,13 @@ pub struct OnlineResult {
     /// inner runs' incidents plus one [`Incident::EpochSkipped`] per
     /// epoch whose whole run failed.
     pub incidents: Vec<Incident>,
+    /// Merged audit outcome: every inner run's report plus a final audit
+    /// of the combined schedule against the original instance. `Some`
+    /// whenever auditing was active ([`MetisConfig::audit`] on
+    /// `options.metis` or `debug_assertions`), `None` otherwise.
+    ///
+    /// [`MetisConfig::audit`]: crate::MetisConfig::audit
+    pub audit: Option<crate::audit::AuditReport>,
 }
 
 impl OnlineResult {
@@ -186,6 +193,8 @@ pub fn online_metis_instrumented(
     let mut combined = Schedule::decline_all(k);
     let mut trace = Vec::with_capacity(options.epochs);
     let mut incidents: Vec<Incident> = Vec::new();
+    let auditing = options.metis.audit || cfg!(debug_assertions);
+    let mut audit_acc = auditing.then(crate::audit::AuditReport::default);
     for (e, members) in per_epoch.iter().enumerate() {
         let _epoch = tele.span(names::SPAN_EPOCH);
         let mut accepted_here = 0;
@@ -204,6 +213,9 @@ pub fn online_metis_instrumented(
                     // Inner incidents were already counted and emitted as
                     // events by the inner run; only collect them here.
                     incidents.extend(result.incidents.iter().cloned());
+                    if let (Some(acc), Some(inner)) = (audit_acc.as_mut(), result.audit) {
+                        acc.merge(inner);
+                    }
                     for (local, &original) in members.iter().enumerate() {
                         let choice = result.schedule.path_choice(RequestId(local as u32));
                         if choice.is_some() {
@@ -240,11 +252,22 @@ pub fn online_metis_instrumented(
     }
 
     let evaluation = combined.evaluate(instance);
+    if let Some(acc) = audit_acc.as_mut() {
+        // The combined schedule's paths and accounting are re-derived
+        // against the *original* instance, so the epoch-to-original index
+        // mapping above is certified too. Inner runs already recorded
+        // their reports; funnel only this outer audit into telemetry so
+        // the registry's totals match the merged report.
+        let outer = crate::audit::audit_schedule(instance, &combined, &evaluation);
+        outer.record(tele);
+        acc.merge(outer);
+    }
     Ok(OnlineResult {
         schedule: combined,
         evaluation,
         epochs: trace,
         incidents,
+        audit: audit_acc,
     })
 }
 

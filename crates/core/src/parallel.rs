@@ -100,6 +100,7 @@ where
                     break;
                 }
                 let r = f(i);
+                // metis-lint: allow(PANIC-01): a poisoned lock means a worker already panicked
                 *slots[i].lock().expect("slot lock poisoned") = Some(r);
             });
         }
@@ -108,7 +109,7 @@ where
         .into_iter()
         .map(|m| {
             m.into_inner()
-                .expect("slot lock poisoned")
+                .expect("slot lock poisoned") // metis-lint: allow(PANIC-01): poisoned lock means a worker already panicked; the scope loop covers every index
                 .expect("every index produced a result")
         })
         .collect()

@@ -544,6 +544,7 @@ fn maa_from_relaxation(
             best = Some((cost, schedule));
         }
     }
+    // metis-lint: allow(PANIC-01): ParallelConfig::trials is clamped to ≥ 1, so one rounding always runs
     let (_, mut schedule) = best.expect("at least one rounding ran");
     if options.local_search {
         improve_by_path_moves(instance, &mut schedule);

@@ -1,0 +1,3 @@
+fn fan_out() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+fn count(xs: &[u32]) -> usize {
+    let mut seen: HashMap<u32, u32> = HashMap::new();
+    for &x in xs {
+        *seen.entry(x).or_insert(0) += 1;
+    }
+    seen.len()
+}

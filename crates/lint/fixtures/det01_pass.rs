@@ -1,0 +1,9 @@
+use std::collections::BTreeMap;
+
+fn count(xs: &[u32]) -> usize {
+    let mut seen: BTreeMap<u32, u32> = BTreeMap::new();
+    for &x in xs {
+        *seen.entry(x).or_insert(0) += 1;
+    }
+    seen.len()
+}

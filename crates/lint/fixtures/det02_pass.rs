@@ -1,0 +1,3 @@
+fn budget() -> std::time::Duration {
+    std::time::Duration::from_millis(50)
+}

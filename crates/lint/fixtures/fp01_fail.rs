@@ -1,0 +1,3 @@
+fn is_unset(x: f64) -> bool {
+    x == 0.0
+}

@@ -1,0 +1,3 @@
+fn head(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}

@@ -1,0 +1,447 @@
+//! The lint driver: file discovery, test-region detection, suppression
+//! handling, and the allowlist.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, Lexed};
+use crate::rules;
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (`DET-01`, …, or `LINT-00` for a malformed suppression).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A checked-in file of blanket suppressions (`lint.allow` at the
+/// workspace root). Each line is `RULE <path> <reason…>`; the reason is
+/// mandatory. Blank lines and `#` comments are skipped.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<AllowEntry>,
+}
+
+#[derive(Clone, Debug)]
+struct AllowEntry {
+    rule: String,
+    path: String,
+}
+
+impl Allowlist {
+    /// Parses the allowlist format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line (missing path or
+    /// missing reason).
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut fields = line.split_whitespace();
+            let rule = fields.next().unwrap_or_default().to_string();
+            let path = fields
+                .next()
+                .ok_or_else(|| format!("lint.allow line {}: missing path", idx + 1))?
+                .to_string();
+            if fields.next().is_none() {
+                return Err(format!(
+                    "lint.allow line {}: entry `{rule} {path}` has no reason — \
+every suppression must say why",
+                    idx + 1
+                ));
+            }
+            entries.push(AllowEntry { rule, path });
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Loads `lint.allow` from `root` if present; absent file = empty list.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Allowlist::parse`], plus unreadable-file errors.
+    pub fn load(root: &Path) -> Result<Allowlist, String> {
+        let path = root.join("lint.allow");
+        if !path.exists() {
+            return Ok(Allowlist::default());
+        }
+        let text = fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        Allowlist::parse(&text)
+    }
+
+    fn allows(&self, rule: &str, file: &str) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.rule == rule && e.path == file)
+    }
+}
+
+/// Everything the rule matchers need to know about one file.
+pub struct FileCtx<'a> {
+    /// Workspace-relative `/`-separated path.
+    pub rel: &'a str,
+    /// The lexed source.
+    pub lexed: &'a Lexed,
+    /// Whether the whole file is test/bench/example code by location.
+    pub is_test_file: bool,
+    /// Line ranges (inclusive) covered by `#[cfg(test)]` items.
+    pub test_regions: Vec<(u32, u32)>,
+}
+
+impl FileCtx<'_> {
+    /// Whether `line` is test code (by file location or `#[cfg(test)]`
+    /// region).
+    pub fn in_test(&self, line: u32) -> bool {
+        self.is_test_file
+            || self
+                .test_regions
+                .iter()
+                .any(|&(lo, hi)| lo <= line && line <= hi)
+    }
+
+    /// Whether the file lives under any of the given directory prefixes.
+    pub fn under(&self, prefixes: &[&str]) -> bool {
+        prefixes.iter().any(|p| self.rel.starts_with(p))
+    }
+}
+
+/// An inline suppression: `// metis-lint: allow(RULE): reason`, applying
+/// to findings on its own line and the next line.
+#[derive(Clone, Debug)]
+struct Suppression {
+    rule: String,
+    line: u32,
+    has_reason: bool,
+}
+
+const SUPPRESSION_MARKER: &str = "metis-lint:";
+
+fn parse_suppressions(lexed: &Lexed) -> (Vec<Suppression>, Vec<Diagnostic>) {
+    let mut sups = Vec::new();
+    let mut bad = Vec::new();
+    for c in &lexed.comments {
+        // Doc comments may *describe* the suppression syntax (this very
+        // crate's docs do); only plain comments carry live suppressions.
+        if c.doc {
+            continue;
+        }
+        let Some(pos) = c.text.find(SUPPRESSION_MARKER) else {
+            continue;
+        };
+        let rest = c.text[pos + SUPPRESSION_MARKER.len()..].trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            bad.push((c.line, "expected `allow(RULE)` after `metis-lint:`"));
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            bad.push((c.line, "unclosed `allow(` in suppression"));
+            continue;
+        };
+        let rule = rest[..close].trim().to_string();
+        let tail = rest[close + 1..].trim_start();
+        let reason = tail.strip_prefix(':').map(str::trim).unwrap_or("");
+        sups.push(Suppression {
+            rule,
+            line: c.line,
+            has_reason: !reason.is_empty(),
+        });
+    }
+    let bad = bad
+        .into_iter()
+        .map(|(line, msg)| Diagnostic {
+            file: String::new(), // filled by caller
+            line,
+            rule: "LINT-00",
+            message: msg.to_string(),
+        })
+        .collect();
+    (sups, bad)
+}
+
+/// Finds line ranges of `#[cfg(test)]` items (modules, functions, use
+/// declarations) so non-test rules can skip them. Conservative: an
+/// attribute whose argument list mentions the token `test` marks the
+/// following item.
+fn find_test_regions(lexed: &Lexed) -> Vec<(u32, u32)> {
+    let t = &lexed.tokens;
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < t.len() {
+        // Outer attribute `#[…]` (inner `#![…]` has a `!` between).
+        if t[i].text == "#" && i + 1 < t.len() && t[i + 1].text == "[" {
+            let attr_start = i;
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            let mut mentions_test = false;
+            let mut is_cfg = false;
+            while j < t.len() {
+                match t[j].text.as_str() {
+                    "[" | "(" => depth += 1,
+                    "]" | ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "cfg" if j == attr_start + 2 => is_cfg = true,
+                    "test" => mentions_test = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if is_cfg && mentions_test && j < t.len() {
+                // Skip any further attributes, then span the item.
+                let mut k = j + 1;
+                while k + 1 < t.len() && t[k].text == "#" && t[k + 1].text == "[" {
+                    let mut d = 0usize;
+                    k += 1;
+                    while k < t.len() {
+                        match t[k].text.as_str() {
+                            "[" | "(" => d += 1,
+                            "]" | ")" => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    k += 1;
+                }
+                // The item runs to its matching close brace, or to `;`
+                // for brace-less items (`use`, `mod foo;`).
+                let mut brace_depth = 0usize;
+                let mut end_line = t[attr_start].line;
+                while k < t.len() {
+                    match t[k].text.as_str() {
+                        "{" => brace_depth += 1,
+                        "}" => {
+                            brace_depth -= 1;
+                            if brace_depth == 0 {
+                                end_line = t[k].line;
+                                break;
+                            }
+                        }
+                        ";" if brace_depth == 0 => {
+                            end_line = t[k].line;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    end_line = t[k].line;
+                    k += 1;
+                }
+                regions.push((t[attr_start].line, end_line));
+                i = k + 1;
+                continue;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Lints one source text as if it lived at `rel`. Exposed so fixture
+/// tests can feed synthetic files into any rule's scope.
+pub fn check_source(rel: &str, src: &str, allow: &Allowlist) -> Vec<Diagnostic> {
+    let lexed = lexer::lex(src);
+    let ctx = FileCtx {
+        rel,
+        lexed: &lexed,
+        is_test_file: is_test_path(rel),
+        test_regions: find_test_regions(&lexed),
+    };
+
+    let mut diags = rules::run_all(&ctx);
+
+    let (sups, mut bad_sups) = parse_suppressions(&lexed);
+    for d in &mut bad_sups {
+        d.file = rel.to_string();
+    }
+
+    // Apply suppressions: a reasoned `allow(RULE)` on line L silences
+    // findings of RULE on lines L and L+1; a reasonless one silences
+    // nothing and is itself reported.
+    diags.retain(|d| {
+        !sups
+            .iter()
+            .any(|s| s.has_reason && s.rule == d.rule && (s.line == d.line || s.line + 1 == d.line))
+    });
+    for s in &sups {
+        if !s.has_reason {
+            bad_sups.push(Diagnostic {
+                file: rel.to_string(),
+                line: s.line,
+                rule: "LINT-00",
+                message: format!(
+                    "suppression of {} has no reason — write \
+`// metis-lint: allow({}): <why this site is exempt>`",
+                    s.rule, s.rule
+                ),
+            });
+        }
+    }
+    diags.extend(bad_sups);
+
+    // Blanket allowlist entries silence a whole (rule, file) pair.
+    diags.retain(|d| !allow.allows(d.rule, &d.file.clone()) && !allow.allows(d.rule, rel));
+    diags.sort();
+    diags
+}
+
+fn is_test_path(rel: &str) -> bool {
+    let under = |dir: &str| rel.starts_with(dir) || rel.contains(&format!("/{dir}"));
+    under("tests/") || under("benches/") || under("examples/")
+}
+
+/// Recursively collects the workspace's own `.rs` files (vendored crates,
+/// build output, and lint fixtures excluded), sorted for determinism.
+pub fn collect_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default();
+            if path.is_dir() {
+                if matches!(name, "vendor" | "target" | ".git" | "fixtures" | "results") {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Runs the whole pass over a workspace checkout.
+///
+/// # Errors
+///
+/// Returns a message for infrastructure problems (unreadable allowlist or
+/// source file); lint findings are the `Ok` payload.
+pub fn run_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let allow = Allowlist::load(root)?;
+    let mut diags = Vec::new();
+    for path in collect_files(root) {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        diags.extend(check_source(&rel, &src, &allow));
+    }
+    diags.sort();
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allowlist_requires_reason() {
+        assert!(Allowlist::parse("FP-01 crates/x.rs exact zero check\n").is_ok());
+        let err = Allowlist::parse("FP-01 crates/x.rs\n").unwrap_err();
+        assert!(err.contains("no reason"), "{err}");
+    }
+
+    #[test]
+    fn allowlist_skips_comments_and_blanks() {
+        let a = Allowlist::parse("# header\n\nFP-01 a.rs why not\n").unwrap();
+        assert!(a.allows("FP-01", "a.rs"));
+        assert!(!a.allows("FP-02", "a.rs"));
+        assert!(!a.allows("FP-01", "b.rs"));
+    }
+
+    #[test]
+    fn cfg_test_regions_span_modules() {
+        let src =
+            "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        let lexed = lexer::lex(src);
+        let regions = find_test_regions(&lexed);
+        assert_eq!(regions, vec![(2, 5)]);
+    }
+
+    #[test]
+    fn cfg_test_region_handles_extra_attrs_and_semicolon_items() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nuse std::rc::Rc;\nfn real() {}\n";
+        let lexed = lexer::lex(src);
+        let regions = find_test_regions(&lexed);
+        assert_eq!(regions, vec![(1, 3)]);
+    }
+
+    #[test]
+    fn cfg_attr_not_test_is_not_a_region() {
+        let src = "#![cfg_attr(not(test), deny(clippy::unwrap_used))]\nfn f() {}\n";
+        let lexed = lexer::lex(src);
+        assert!(find_test_regions(&lexed).is_empty());
+    }
+
+    #[test]
+    fn suppression_with_reason_silences_next_line() {
+        let allow = Allowlist::default();
+        let hit = "fn f(v: Vec<i32>) { v.last().unwrap(); }\n";
+        let rel = "crates/core/src/x.rs";
+        assert!(!check_source(rel, hit, &allow).is_empty());
+        let suppressed =
+            format!("// metis-lint: allow(PANIC-01): fixture demonstrates suppression\n{hit}");
+        assert!(check_source(rel, &suppressed, &allow).is_empty());
+    }
+
+    #[test]
+    fn suppression_without_reason_is_reported() {
+        let allow = Allowlist::default();
+        let src = "// metis-lint: allow(PANIC-01)\nfn f(v: Vec<i32>) { v.last().unwrap(); }\n";
+        let diags = check_source("crates/core/src/x.rs", src, &allow);
+        assert!(diags.iter().any(|d| d.rule == "LINT-00"), "{diags:?}");
+        assert!(diags.iter().any(|d| d.rule == "PANIC-01"), "{diags:?}");
+    }
+
+    #[test]
+    fn test_paths_are_recognized() {
+        assert!(is_test_path("tests/golden.rs"));
+        assert!(is_test_path("crates/lp/tests/proptests.rs"));
+        assert!(is_test_path("crates/bench/benches/maa.rs"));
+        assert!(is_test_path("examples/quickstart.rs"));
+        assert!(!is_test_path("crates/core/src/framework.rs"));
+    }
+}

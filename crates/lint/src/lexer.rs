@@ -1,0 +1,491 @@
+//! A minimal Rust lexer: just enough to lint on.
+//!
+//! The rule matchers must never fire on text inside string literals or
+//! comments (a doc sentence mentioning `HashMap` is not a violation), and
+//! several rules need the *content* of comments (`// SAFETY:` markers,
+//! `// metis-lint: allow(...)` suppressions). So the lexer splits a
+//! source file into a token stream (identifiers, punctuation, literals)
+//! and a parallel list of comments, each tagged with its 1-based line.
+//!
+//! It understands the lexical shapes that trip naive scanners: nested
+//! block comments, escaped strings, raw strings (`r#"…"#`), byte and
+//! byte-raw strings, char literals vs lifetimes (`'a'` vs `'a`), and
+//! numeric literals with underscores, exponents, and type suffixes.
+//! It does **not** parse: grammar-level work (attribute spans, test
+//! modules) is layered on top in [`crate::engine`].
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `pub`, `unsafe`, …).
+    Ident,
+    /// Operator or delimiter, multi-character ops kept whole (`==`, `::`).
+    Punct,
+    /// Integer literal (`42`, `0xff`, `7u32`).
+    Int,
+    /// Floating-point literal (`0.0`, `1e-9`, `2f64`).
+    Float,
+    /// String, raw-string, byte-string, or char literal (content dropped).
+    Literal,
+    /// Lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Raw text (for [`TokenKind::Literal`], a placeholder).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+/// One comment, with its text preserved for marker/suppression rules.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Full comment text, delimiters included.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (equal to `line` except for
+    /// multi-line block comments).
+    pub end_line: u32,
+    /// Whether this is a doc comment (`///`, `//!`, `/**`, `/*!`).
+    pub doc: bool,
+}
+
+/// A lexed source file: tokens and comments, both in source order.
+#[derive(Clone, Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in order.
+    pub tokens: Vec<Token>,
+    /// Comments in order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so the match is greedy.
+const MULTI_OPS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "==", "!=", "<=", ">=", "->", "=>", "..", "&&", "||", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes one source file. Unterminated constructs (strings, block
+/// comments) consume to end of input rather than erroring: the linter
+/// must degrade gracefully on any input, and rustc will reject such
+/// files anyway.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let n = chars.len();
+    while i < n {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            let start = i;
+            while i < n && chars[i] != '\n' {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            let doc =
+                (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!");
+            out.comments.push(Comment {
+                text,
+                line,
+                end_line: line,
+                doc,
+            });
+            continue;
+        }
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '\n' {
+                    line += 1;
+                    i += 1;
+                } else if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            let text: String = chars[start..i].iter().collect();
+            let doc =
+                (text.starts_with("/**") && !text.starts_with("/***")) || text.starts_with("/*!");
+            out.comments.push(Comment {
+                text,
+                line: start_line,
+                end_line: line,
+                doc,
+            });
+            continue;
+        }
+
+        // Raw strings and byte strings: r"…", r#"…"#, br"…", b"…".
+        if c == 'r' || c == 'b' {
+            if let Some((next_i, lines)) = try_string_prefix(&chars, i) {
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: "\"…\"".into(),
+                    line,
+                });
+                line += lines;
+                i = next_i;
+                continue;
+            }
+        }
+
+        // Plain strings.
+        if c == '"' {
+            let (next_i, lines) = skip_quoted(&chars, i + 1, '"');
+            out.tokens.push(Token {
+                kind: TokenKind::Literal,
+                text: "\"…\"".into(),
+                line,
+            });
+            line += lines;
+            i = next_i;
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            if is_char_literal(&chars, i) {
+                let (next_i, lines) = skip_quoted(&chars, i + 1, '\'');
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: "'…'".into(),
+                    line,
+                });
+                line += lines;
+                i = next_i;
+            } else {
+                let start = i;
+                i += 1;
+                while i < n && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+            }
+            continue;
+        }
+
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: chars[start..i].iter().collect(),
+                line,
+            });
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            let (next_i, kind, text) = lex_number(&chars, i);
+            out.tokens.push(Token { kind, text, line });
+            i = next_i;
+            continue;
+        }
+
+        // Punctuation, longest operator first.
+        let mut matched = false;
+        for op in MULTI_OPS {
+            let len = op.len();
+            if i + len <= n && chars[i..i + len].iter().collect::<String>() == *op {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (*op).into(),
+                    line,
+                });
+                i += len;
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            out.tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: c.to_string(),
+                line,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// If `chars[i..]` starts a raw/byte string (`r"`, `r#"`, `br#"`, `b"`),
+/// consumes it and returns `(index after it, newlines inside)`.
+fn try_string_prefix(chars: &[char], i: usize) -> Option<(usize, u32)> {
+    let n = chars.len();
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+        if j < n && chars[j] == '"' {
+            // b"…": escaped like a normal string.
+            let (next, lines) = skip_quoted(chars, j + 1, '"');
+            return Some((next, lines));
+        }
+        if j >= n || chars[j] != 'r' {
+            return None;
+        }
+    }
+    if j < n && chars[j] == 'r' {
+        j += 1;
+        let mut hashes = 0usize;
+        while j < n && chars[j] == '#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j < n && chars[j] == '"' {
+            // Raw string: ends at `"` followed by `hashes` hashes, no escapes.
+            j += 1;
+            let mut lines = 0u32;
+            while j < n {
+                if chars[j] == '\n' {
+                    lines += 1;
+                    j += 1;
+                    continue;
+                }
+                if chars[j] == '"' {
+                    let mut k = j + 1;
+                    let mut seen = 0usize;
+                    while k < n && seen < hashes && chars[k] == '#' {
+                        seen += 1;
+                        k += 1;
+                    }
+                    if seen == hashes {
+                        return Some((k, lines));
+                    }
+                }
+                j += 1;
+            }
+            return Some((j, lines));
+        }
+        return None;
+    }
+    None
+}
+
+/// Consumes an escaped quoted literal starting just after its opening
+/// quote; returns `(index after the closing quote, newlines inside)`.
+fn skip_quoted(chars: &[char], mut i: usize, quote: char) -> (usize, u32) {
+    let n = chars.len();
+    let mut lines = 0u32;
+    while i < n {
+        match chars[i] {
+            '\\' => i += 2,
+            '\n' => {
+                lines += 1;
+                i += 1;
+            }
+            c if c == quote => return (i + 1, lines),
+            _ => i += 1,
+        }
+    }
+    (i, lines)
+}
+
+/// Distinguishes `'x'` / `'\n'` (char literal) from `'label` (lifetime).
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    let n = chars.len();
+    if i + 1 >= n {
+        return false;
+    }
+    if chars[i + 1] == '\\' {
+        return true;
+    }
+    // 'c' where the char after c is the closing quote. Lifetimes are
+    // identifier-shaped with no closing quote.
+    if i + 2 < n && chars[i + 2] == '\'' && chars[i + 1] != '\'' {
+        return true;
+    }
+    false
+}
+
+/// Lexes a numeric literal starting at a digit, classifying int vs float.
+fn lex_number(chars: &[char], mut i: usize) -> (usize, TokenKind, String) {
+    let n = chars.len();
+    let start = i;
+    let mut float = false;
+
+    if chars[i] == '0' && i + 1 < n && matches!(chars[i + 1], 'x' | 'o' | 'b') {
+        i += 2;
+        while i < n && (chars[i].is_ascii_hexdigit() || chars[i] == '_') {
+            i += 1;
+        }
+    } else {
+        while i < n && (chars[i].is_ascii_digit() || chars[i] == '_') {
+            i += 1;
+        }
+        // Fractional part: a '.' followed by a digit (so `0..k` ranges and
+        // `x.method()` stay out).
+        if i + 1 < n && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+            float = true;
+            i += 1;
+            while i < n && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                i += 1;
+            }
+        }
+        // Exponent.
+        if i < n && matches!(chars[i], 'e' | 'E') {
+            let mut j = i + 1;
+            if j < n && matches!(chars[j], '+' | '-') {
+                j += 1;
+            }
+            if j < n && chars[j].is_ascii_digit() {
+                float = true;
+                i = j;
+                while i < n && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Type suffix (`u32`, `f64`, …).
+    let suffix_start = i;
+    while i < n && is_ident_continue(chars[i]) {
+        i += 1;
+    }
+    let suffix: String = chars[suffix_start..i].iter().collect();
+    if suffix.starts_with('f') {
+        float = true;
+    }
+    let kind = if float {
+        TokenKind::Float
+    } else {
+        TokenKind::Int
+    };
+    (i, kind, chars[start..i].iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).tokens.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_stripped() {
+        let l = lex("let x = \"HashMap\"; // HashMap here\n/* HashMap */ y");
+        assert!(l.tokens.iter().all(|t| t.text != "HashMap"));
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].text.contains("HashMap here"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* outer /* inner */ still */ code");
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.tokens.len(), 1);
+        assert_eq!(l.tokens[0].text, "code");
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes() {
+        let l = lex(r###"let s = r#"a "quoted" HashMap"#; z"###);
+        assert!(l.tokens.iter().all(|t| t.text != "HashMap"));
+        assert_eq!(l.tokens.last().unwrap().text, "z");
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let l = lex("fn f<'a>(c: char) { let x = 'x'; let nl = '\\n'; }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 1);
+        assert_eq!(lifetimes[0].text, "'a");
+        let chars: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .collect();
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn numbers_classify_float_vs_int() {
+        let l = lex("0.0 1e-9 2f64 42 0xff 1_000 3..4 x.0");
+        let kinds: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokenKind::Int | TokenKind::Float))
+            .map(|t| (t.text.clone(), t.kind))
+            .collect();
+        assert_eq!(kinds[0], ("0.0".into(), TokenKind::Float));
+        assert_eq!(kinds[1], ("1e-9".into(), TokenKind::Float));
+        assert_eq!(kinds[2], ("2f64".into(), TokenKind::Float));
+        assert_eq!(kinds[3], ("42".into(), TokenKind::Int));
+        assert_eq!(kinds[4], ("0xff".into(), TokenKind::Int));
+        assert_eq!(kinds[5], ("1_000".into(), TokenKind::Int));
+        assert_eq!(kinds[6], ("3".into(), TokenKind::Int));
+        assert_eq!(kinds[7], ("4".into(), TokenKind::Int));
+        assert_eq!(kinds[8], ("0".into(), TokenKind::Int));
+    }
+
+    #[test]
+    fn multi_char_operators_stay_whole() {
+        assert_eq!(
+            texts("a == b != c <= d :: e"),
+            vec!["a", "==", "b", "!=", "c", "<=", "d", "::", "e"]
+        );
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let l = lex("a\nb\n  c");
+        assert_eq!(l.tokens[0].line, 1);
+        assert_eq!(l.tokens[1].line, 2);
+        assert_eq!(l.tokens[2].line, 3);
+    }
+
+    #[test]
+    fn doc_comments_flagged() {
+        let l = lex("/// doc\n//! inner\n// plain\n//// not doc\nx");
+        let docs: Vec<bool> = l.comments.iter().map(|c| c.doc).collect();
+        assert_eq!(docs, vec![true, true, false, false]);
+    }
+}

@@ -1,0 +1,29 @@
+//! `metis-lint`: a token-level workspace lint that mechanically enforces
+//! the Metis repo's determinism and accounting invariants.
+//!
+//! The paper's guarantees (MAA's approximation bound, TAA's Chernoff
+//! feasibility) survive only if the implementation keeps exact
+//! accounting and bit-identical determinism across thread counts. The
+//! code patterns that silently break those — unordered map iteration,
+//! NaN-unsafe float comparisons, stray wall-clock reads, rogue thread
+//! spawns — are all lexically recognizable, so this crate hand-rolls a
+//! small Rust lexer ([`lexer`]) and runs eight rule matchers ([`rules`])
+//! over every workspace source file ([`engine`]).
+//!
+//! Run it two ways:
+//!
+//! ```text
+//! cargo run -p metis-lint -- --workspace      # CLI, exit 1 on findings
+//! cargo test -p metis-lint                    # the same pass as a #[test]
+//! ```
+//!
+//! Suppressions: inline `// metis-lint: allow(RULE): reason` (reason
+//! mandatory — a bare `allow` is itself the finding `LINT-00`), or a
+//! `lint.allow` file at the workspace root with `RULE path reason`
+//! lines. The rule catalog and policy live in `DESIGN.md` §8.
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{check_source, run_workspace, Allowlist, Diagnostic};

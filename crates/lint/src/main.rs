@@ -1,0 +1,57 @@
+//! CLI entry point: `cargo run -p metis-lint -- --workspace`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: metis-lint --workspace [--root <dir>]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut workspace = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    if !workspace {
+        usage();
+    }
+
+    // Default root: the workspace the lint crate itself lives in, so the
+    // binary works from any cwd under `cargo run -p metis-lint`.
+    let root = root.unwrap_or_else(|| {
+        let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        manifest
+            .parent()
+            .and_then(|p| p.parent())
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+
+    match metis_lint::run_workspace(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("metis-lint: clean ({} rules, 0 findings)", 8);
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("metis-lint: {} finding(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("metis-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,488 @@
+//! The rule matchers.
+//!
+//! Each rule walks the token stream of one file (comments and string
+//! contents already stripped by the lexer) and reports pattern hits.
+//! Scoping — which directories a rule polices, and whether test code is
+//! exempt — is part of each rule's definition, documented in
+//! `DESIGN.md` §8.
+
+use crate::engine::{Diagnostic, FileCtx};
+use crate::lexer::{Token, TokenKind};
+
+/// Directories whose non-test code must iterate deterministically.
+const SOLVER_PATHS: &[&str] = &["crates/core/src/", "crates/lp/src/"];
+/// Directories whose non-test code must not panic.
+const NO_PANIC_PATHS: &[&str] = &[
+    "crates/core/src/",
+    "crates/lp/src/",
+    "crates/telemetry/src/",
+];
+/// The one file allowed to spawn threads.
+const SPAWN_HOME: &str = "crates/core/src/parallel.rs";
+/// Clock calls are confined to telemetry-gated sites; the telemetry
+/// crate itself is the gate.
+const CLOCK_HOME: &str = "crates/telemetry/";
+
+/// Runs every rule against one file.
+pub fn run_all(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    det01_unordered_collections(ctx, &mut out);
+    det02_wall_clock(ctx, &mut out);
+    fp01_float_eq(ctx, &mut out);
+    fp02_partial_cmp_unwrap(ctx, &mut out);
+    panic01_panics(ctx, &mut out);
+    conc01_spawn(ctx, &mut out);
+    safe01_safety_comment(ctx, &mut out);
+    doc01_missing_docs(ctx, &mut out);
+    out
+}
+
+fn diag(ctx: &FileCtx<'_>, line: u32, rule: &'static str, message: String) -> Diagnostic {
+    Diagnostic {
+        file: ctx.rel.to_string(),
+        line,
+        rule,
+        message,
+    }
+}
+
+/// `DET-01`: no `HashMap`/`HashSet` in solver paths — their iteration
+/// order varies run to run, which breaks bit-identical determinism.
+fn det01_unordered_collections(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.under(SOLVER_PATHS) {
+        return;
+    }
+    for t in idents(ctx) {
+        if (t.text == "HashMap" || t.text == "HashSet") && !ctx.in_test(t.line) {
+            out.push(diag(
+                ctx,
+                t.line,
+                "DET-01",
+                format!(
+                    "`{}` in a solver path: iteration order is nondeterministic; \
+use `BTreeMap`/`BTreeSet` or an index vec",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// `DET-02`: no `Instant::now`/`SystemTime` outside the telemetry crate
+/// — stray clock reads make runs time-dependent and un-replayable.
+fn det02_wall_clock(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.rel.starts_with(CLOCK_HOME) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ctx.in_test(t.line) {
+            continue;
+        }
+        if t.text == "SystemTime" {
+            out.push(diag(
+                ctx,
+                t.line,
+                "DET-02",
+                "`SystemTime` outside telemetry: route wall-clock reads through \
+`metis-telemetry` so they can be disabled"
+                    .into(),
+            ));
+        }
+        if t.text == "Instant"
+            && toks.get(i + 1).is_some_and(|n| n.text == "::")
+            && toks.get(i + 2).is_some_and(|n| n.text == "now")
+        {
+            out.push(diag(
+                ctx,
+                t.line,
+                "DET-02",
+                "`Instant::now` outside telemetry: route timing through \
+`metis-telemetry` spans so it can be disabled"
+                    .into(),
+            ));
+        }
+    }
+}
+
+/// `FP-01`: no `==`/`!=` against floating-point literals — exact float
+/// equality is almost always a latent bug; compare with a tolerance or
+/// restructure.
+fn fp01_float_eq(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let toks = &ctx.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !(t.kind == TokenKind::Punct && (t.text == "==" || t.text == "!=")) {
+            continue;
+        }
+        if ctx.in_test(t.line) {
+            continue;
+        }
+        let float_left = i
+            .checked_sub(1)
+            .and_then(|j| toks.get(j))
+            .is_some_and(|p| p.kind == TokenKind::Float);
+        // `x == -0.0`: a sign may sit between the operator and the literal.
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|n| n.text == "-") {
+            j += 1;
+        }
+        let float_right = toks.get(j).is_some_and(|n| n.kind == TokenKind::Float);
+        if float_left || float_right {
+            out.push(diag(
+                ctx,
+                t.line,
+                "FP-01",
+                format!(
+                    "float `{}` comparison: exact floating-point equality is \
+NaN- and rounding-unsafe",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// `FP-02`: no `.partial_cmp(..).unwrap()`/`.expect(..)` — panics on
+/// NaN; use `f64::total_cmp` for a total order.
+fn fp02_partial_cmp_unwrap(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    let toks = &ctx.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.text != "partial_cmp" || toks.get(i + 1).is_none_or(|n| n.text != "(") {
+            continue;
+        }
+        // Find the close of the partial_cmp(...) argument list.
+        let mut depth = 0usize;
+        let mut j = i + 1;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let unwrapped = toks.get(j + 1).is_some_and(|n| n.text == ".")
+            && toks
+                .get(j + 2)
+                .is_some_and(|n| n.text == "unwrap" || n.text == "expect");
+        if unwrapped {
+            out.push(diag(
+                ctx,
+                t.line,
+                "FP-02",
+                "`.partial_cmp(..).unwrap()` panics on NaN; use `f64::total_cmp`".into(),
+            ));
+        }
+    }
+}
+
+/// `PANIC-01`: no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/
+/// `unimplemented!` in non-test code of `core`/`lp`/`telemetry` — PR 2's
+/// error taxonomy exists so solver failures are contained, not fatal.
+fn panic01_panics(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.under(NO_PANIC_PATHS) {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || ctx.in_test(t.line) {
+            continue;
+        }
+        let method_call = i
+            .checked_sub(1)
+            .and_then(|j| toks.get(j))
+            .is_some_and(|p| p.text == ".");
+        let is_macro = toks.get(i + 1).is_some_and(|n| n.text == "!");
+        let hit = match t.text.as_str() {
+            "unwrap" | "expect" => method_call,
+            "panic" | "unreachable" | "todo" | "unimplemented" => is_macro,
+            _ => false,
+        };
+        if hit {
+            out.push(diag(
+                ctx,
+                t.line,
+                "PANIC-01",
+                format!(
+                    "`{}` in non-test solver code: return a `SolveError`/`InstanceError` \
+instead of aborting the process",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// `CONC-01`: thread spawning only in `core/src/parallel.rs` — one
+/// choke point keeps the deterministic index-ordered reduction the only
+/// way work fans out.
+fn conc01_spawn(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if ctx.rel == SPAWN_HOME {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.text != "spawn" || ctx.in_test(t.line) {
+            continue;
+        }
+        let called = i
+            .checked_sub(1)
+            .and_then(|j| toks.get(j))
+            .is_some_and(|p| p.text == "." || p.text == "::");
+        if called {
+            out.push(diag(
+                ctx,
+                t.line,
+                "CONC-01",
+                format!(
+                    "thread spawn outside `{SPAWN_HOME}`: all parallelism must go \
+through the deterministic `run_indexed` choke point"
+                ),
+            ));
+        }
+    }
+}
+
+/// `SAFE-01`: every `unsafe` keyword carries a `// SAFETY:` comment on
+/// the same line or within the three lines above it.
+fn safe01_safety_comment(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    for t in idents(ctx) {
+        if t.text != "unsafe" {
+            continue;
+        }
+        let justified = ctx.lexed.comments.iter().any(|c| {
+            c.text.contains("SAFETY:") && c.end_line <= t.line && c.end_line + 3 >= t.line
+        });
+        if !justified {
+            out.push(diag(
+                ctx,
+                t.line,
+                "SAFE-01",
+                "`unsafe` without a `// SAFETY:` comment justifying the invariants".into(),
+            ));
+        }
+    }
+}
+
+/// Item keywords that make a `pub` token a documentable item. Fields,
+/// `pub use` re-exports, and `pub mod` declarations are out of scope.
+const DOC_ITEMS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "const", "static", "type", "union",
+];
+
+/// `DOC-01`: public items in `metis-core` must carry doc comments —
+/// the crate is the API surface later PRs build on.
+fn doc01_missing_docs(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.rel.starts_with("crates/core/src/") {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    let attr_lines = attribute_lines(toks);
+    for (i, t) in toks.iter().enumerate() {
+        if t.text != "pub" || t.kind != TokenKind::Ident || ctx.in_test(t.line) {
+            continue;
+        }
+        // Restricted visibility (`pub(crate)`, `pub(super)`) is not part
+        // of the public API surface — out of scope.
+        let mut j = i + 1;
+        if toks.get(j).is_some_and(|n| n.text == "(") {
+            continue;
+        }
+        // Skip modifiers between visibility and the item keyword.
+        while toks
+            .get(j)
+            .is_some_and(|n| matches!(n.text.as_str(), "async" | "unsafe" | "extern"))
+        {
+            j += 1;
+        }
+        let Some(item) = toks.get(j) else { continue };
+        if !DOC_ITEMS.contains(&item.text.as_str()) {
+            continue;
+        }
+        if !has_doc(ctx, &attr_lines, t.line) {
+            out.push(diag(
+                ctx,
+                t.line,
+                "DOC-01",
+                format!("public `{}` in metis-core without a doc comment", item.text),
+            ));
+        }
+    }
+}
+
+/// Lines covered by outer attributes (`#[...]`, possibly multi-line), so
+/// the doc-comment search can look through them.
+fn attribute_lines(toks: &[Token]) -> Vec<u32> {
+    let mut lines = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text == "#" && toks.get(i + 1).is_some_and(|n| n.text == "[") {
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "[" | "(" => depth += 1,
+                    "]" | ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                lines.push(toks[j].line);
+                j += 1;
+            }
+            lines.push(toks[i].line);
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    lines.sort_unstable();
+    lines.dedup();
+    lines
+}
+
+/// Whether the item starting at `item_line` has an attached doc comment:
+/// walk upward through attribute lines and plain comments until a doc
+/// comment (found) or anything else (missing).
+fn has_doc(ctx: &FileCtx<'_>, attr_lines: &[u32], item_line: u32) -> bool {
+    let mut l = item_line.saturating_sub(1);
+    while l >= 1 {
+        if ctx.lexed.comments.iter().any(|c| c.doc && c.end_line == l) {
+            return true;
+        }
+        let transparent = attr_lines.binary_search(&l).is_ok()
+            || ctx.lexed.comments.iter().any(|c| !c.doc && c.end_line == l);
+        if !transparent {
+            return false;
+        }
+        l -= 1;
+    }
+    false
+}
+
+fn idents<'a>(ctx: &'a FileCtx<'_>) -> impl Iterator<Item = &'a Token> {
+    ctx.lexed
+        .tokens
+        .iter()
+        .filter(|t| t.kind == TokenKind::Ident)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{check_source, Allowlist};
+
+    fn rules_hit(rel: &str, src: &str) -> Vec<&'static str> {
+        let allow = Allowlist::default();
+        let mut rules: Vec<_> = check_source(rel, src, &allow)
+            .into_iter()
+            .map(|d| d.rule)
+            .collect();
+        rules.dedup();
+        rules
+    }
+
+    #[test]
+    fn det01_fires_only_in_solver_paths() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(rules_hit("crates/core/src/x.rs", src), vec!["DET-01"]);
+        assert_eq!(rules_hit("crates/bench/src/x.rs", src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn det02_allows_telemetry() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert_eq!(rules_hit("crates/core/src/x.rs", src), vec!["DET-02"]);
+        assert_eq!(
+            rules_hit("crates/telemetry/src/x.rs", src),
+            Vec::<&str>::new()
+        );
+    }
+
+    #[test]
+    fn fp01_literal_adjacency() {
+        assert_eq!(
+            rules_hit(
+                "crates/bench/src/x.rs",
+                "fn f(x: f64) -> bool { x == 0.0 }\n"
+            ),
+            vec!["FP-01"]
+        );
+        assert_eq!(
+            rules_hit(
+                "crates/bench/src/x.rs",
+                "fn f(x: f64) -> bool { x == -0.0 }\n"
+            ),
+            vec!["FP-01"]
+        );
+        assert_eq!(
+            rules_hit("crates/bench/src/x.rs", "fn f(x: i64) -> bool { x <= 0 }\n"),
+            Vec::<&str>::new()
+        );
+    }
+
+    #[test]
+    fn fp02_spans_the_argument_list() {
+        let src = "fn f(a: f64, b: f64) { a.partial_cmp(&b).unwrap(); }\n";
+        assert_eq!(rules_hit("crates/bench/src/x.rs", src), vec!["FP-02"]);
+        let ok = "fn f(a: f64, b: f64) { a.total_cmp(&b); }\n";
+        assert_eq!(rules_hit("crates/bench/src/x.rs", ok), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn panic01_distinguishes_unwrap_or() {
+        let hit = "fn f(v: Vec<u32>) { v.first().unwrap(); }\n";
+        assert_eq!(rules_hit("crates/lp/src/x.rs", hit), vec!["PANIC-01"]);
+        let ok = "fn f(v: Vec<u32>) -> u32 { v.first().copied().unwrap_or(0) }\n";
+        assert_eq!(rules_hit("crates/lp/src/x.rs", ok), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn panic01_skips_cfg_test_modules() {
+        let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1).unwrap(); }\n}\n";
+        assert_eq!(rules_hit("crates/core/src/x.rs", src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn conc01_allows_only_parallel_rs() {
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        assert_eq!(rules_hit("crates/bench/src/x.rs", src), vec!["CONC-01"]);
+        assert_eq!(
+            rules_hit("crates/core/src/parallel.rs", src),
+            Vec::<&str>::new()
+        );
+    }
+
+    #[test]
+    fn safe01_needs_nearby_safety_comment() {
+        let hit = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        assert_eq!(rules_hit("crates/bench/src/x.rs", hit), vec!["SAFE-01"]);
+        let ok =
+            "// SAFETY: caller guarantees p is valid\nfn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        assert_eq!(rules_hit("crates/bench/src/x.rs", ok), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn doc01_core_pub_items() {
+        let hit = "pub fn f() {}\n";
+        assert_eq!(rules_hit("crates/core/src/x.rs", hit), vec!["DOC-01"]);
+        let ok = "/// Documented.\npub fn f() {}\n";
+        assert_eq!(rules_hit("crates/core/src/x.rs", ok), Vec::<&str>::new());
+        let attr = "/// Documented.\n#[inline]\npub fn f() {}\n";
+        assert_eq!(rules_hit("crates/core/src/x.rs", attr), Vec::<&str>::new());
+        let restricted = "pub(crate) fn f() {}\n";
+        assert_eq!(
+            rules_hit("crates/core/src/x.rs", restricted),
+            Vec::<&str>::new()
+        );
+        let outside = "pub fn f() {}\n";
+        assert_eq!(rules_hit("crates/lp/src/x.rs", outside), Vec::<&str>::new());
+    }
+}

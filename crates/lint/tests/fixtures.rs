@@ -1,0 +1,74 @@
+//! Per-rule fixture tests: every rule is proven live by a failing
+//! fixture and proven precise by a passing twin.
+//!
+//! Fixtures live in `crates/lint/fixtures/` (a directory the workspace
+//! walk deliberately skips) and are linted under a *virtual* path so
+//! each lands inside its rule's scope.
+
+use metis_lint::{check_source, Allowlist};
+
+/// (fixture file, virtual workspace path, rules expected to fire).
+const CASES: &[(&str, &str, &[&str])] = &[
+    ("det01_fail.rs", "crates/core/src/fixture.rs", &["DET-01"]),
+    ("det01_pass.rs", "crates/core/src/fixture.rs", &[]),
+    ("det02_fail.rs", "crates/core/src/fixture.rs", &["DET-02"]),
+    ("det02_pass.rs", "crates/core/src/fixture.rs", &[]),
+    ("fp01_fail.rs", "crates/bench/src/fixture.rs", &["FP-01"]),
+    ("fp01_pass.rs", "crates/bench/src/fixture.rs", &[]),
+    ("fp02_fail.rs", "crates/bench/src/fixture.rs", &["FP-02"]),
+    ("fp02_pass.rs", "crates/bench/src/fixture.rs", &[]),
+    ("panic01_fail.rs", "crates/lp/src/fixture.rs", &["PANIC-01"]),
+    ("panic01_pass.rs", "crates/lp/src/fixture.rs", &[]),
+    (
+        "conc01_fail.rs",
+        "crates/bench/src/fixture.rs",
+        &["CONC-01"],
+    ),
+    // Identical spawn code is legal at the one blessed path.
+    ("conc01_pass.rs", "crates/core/src/parallel.rs", &[]),
+    (
+        "safe01_fail.rs",
+        "crates/netsim/src/fixture.rs",
+        &["SAFE-01"],
+    ),
+    ("safe01_pass.rs", "crates/netsim/src/fixture.rs", &[]),
+    ("doc01_fail.rs", "crates/core/src/fixture.rs", &["DOC-01"]),
+    ("doc01_pass.rs", "crates/core/src/fixture.rs", &[]),
+    // A reasonless suppression silences nothing and is itself flagged.
+    (
+        "lint00_fail.rs",
+        "crates/lp/src/fixture.rs",
+        &["LINT-00", "PANIC-01"],
+    ),
+    ("lint00_pass.rs", "crates/lp/src/fixture.rs", &[]),
+];
+
+#[test]
+fn every_rule_has_a_live_failing_and_clean_passing_fixture() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let allow = Allowlist::default();
+    let mut covered: Vec<&str> = Vec::new();
+    for (file, virtual_path, expected) in CASES {
+        let src = std::fs::read_to_string(dir.join(file))
+            .unwrap_or_else(|e| panic!("fixture {file}: {e}"));
+        let mut fired: Vec<&str> = check_source(virtual_path, &src, &allow)
+            .iter()
+            .map(|d| d.rule)
+            .collect();
+        fired.dedup();
+        assert_eq!(&fired, expected, "fixture {file} (as {virtual_path})");
+        covered.extend(*expected);
+    }
+    covered.sort_unstable();
+    covered.dedup();
+    // The catalog: all 8 rules plus the suppression meta-rule.
+    assert_eq!(
+        covered,
+        [
+            "CONC-01", "DET-01", "DET-02", "DOC-01", "FP-01", "FP-02", "LINT-00", "PANIC-01",
+            "SAFE-01"
+        ],
+        "every rule must be proven live by at least one failing fixture"
+    );
+    assert!(CASES.len() >= 16, "issue requires ≥16 fixtures");
+}

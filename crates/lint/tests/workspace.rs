@@ -1,0 +1,22 @@
+//! Runs the full lint pass over the real workspace as a `#[test]`, so
+//! tier-1 `cargo test` enforces the rule catalog on every change.
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("lint crate lives at <root>/crates/lint")
+        .to_path_buf();
+    let diags = metis_lint::run_workspace(&root).expect("lint infrastructure error");
+    assert!(
+        diags.is_empty(),
+        "metis-lint found {} violation(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -21,6 +21,10 @@ pub enum SolveError {
     Singular,
     /// Branch-and-bound exhausted its node budget with no feasible incumbent.
     NodeLimit,
+    /// The solver returned, but independent recomputation
+    /// ([`crate::verify`]) found the reported solution infeasible or its
+    /// objective misreported.
+    CertificateRejected,
 }
 
 impl fmt::Display for SolveError {
@@ -31,6 +35,7 @@ impl fmt::Display for SolveError {
             SolveError::IterationLimit => "simplex iteration limit reached",
             SolveError::Singular => "basis matrix is numerically singular",
             SolveError::NodeLimit => "branch-and-bound node limit reached without incumbent",
+            SolveError::CertificateRejected => "solution failed independent certification",
         };
         f.write_str(msg)
     }
@@ -43,9 +48,15 @@ impl SolveError {
     /// [`Self::NodeLimit`]) are worth retrying — e.g. from a cold basis
     /// after a failed warm start — while [`Self::Infeasible`] and
     /// [`Self::Unbounded`] are verdicts about the problem itself.
+    /// A rejected certificate ([`Self::CertificateRejected`]) is treated
+    /// like numerical breakage: the point came out wrong, but a cold
+    /// restart may produce a clean one.
     pub fn is_retryable(&self) -> bool {
         match self {
-            SolveError::Singular | SolveError::IterationLimit | SolveError::NodeLimit => true,
+            SolveError::Singular
+            | SolveError::IterationLimit
+            | SolveError::NodeLimit
+            | SolveError::CertificateRejected => true,
             SolveError::Infeasible | SolveError::Unbounded => false,
         }
     }
@@ -65,6 +76,7 @@ mod tests {
             SolveError::IterationLimit,
             SolveError::Singular,
             SolveError::NodeLimit,
+            SolveError::CertificateRejected,
         ] {
             let s = e.to_string();
             assert!(!s.is_empty());
@@ -84,6 +96,7 @@ mod tests {
         assert!(SolveError::Singular.is_retryable());
         assert!(SolveError::IterationLimit.is_retryable());
         assert!(SolveError::NodeLimit.is_retryable());
+        assert!(SolveError::CertificateRejected.is_retryable());
         assert!(!SolveError::Infeasible.is_retryable());
         assert!(!SolveError::Unbounded.is_retryable());
     }

@@ -139,10 +139,7 @@ impl PartialOrd for Node {
 impl Ord for Node {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; we want the smallest bound first.
-        other
-            .bound
-            .partial_cmp(&self.bound)
-            .unwrap_or(Ordering::Equal)
+        other.bound.total_cmp(&self.bound)
     }
 }
 
@@ -189,6 +186,7 @@ pub fn solve_ilp_with_start(
     options: &IlpOptions,
     start: Option<&[f64]>,
 ) -> Result<IlpSolution, SolveError> {
+    // metis-lint: allow(DET-02): feeds SolveStats timing only; node/iteration limits bound the search
     let started = Instant::now();
     let maximize = problem.sense() == Sense::Maximize;
     // Internal bookkeeping is in minimization sense.

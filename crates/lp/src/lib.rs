@@ -41,6 +41,7 @@ pub mod mps;
 mod presolve;
 mod simplex;
 mod solution;
+pub mod verify;
 
 pub use error::SolveError;
 pub use ilp::{solve_ilp, solve_ilp_with_start, IlpOptions, IlpSolution, IlpStatus};
@@ -48,3 +49,4 @@ pub use model::{Problem, Relation, RowId, Sense, VarId};
 pub use presolve::{presolve, presolve_and_solve, PresolveReport, Restoration};
 pub use simplex::{Basis, SolveOptions};
 pub use solution::{Solution, SolveStats};
+pub use verify::{certify, Certificate};

@@ -15,7 +15,7 @@
 //! single relation, the reader materializes the second side as an extra
 //! row, which is semantically identical.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::error::SolveError;
@@ -98,15 +98,15 @@ pub fn parse(text: &str) -> Result<Problem, MpsParseError> {
     let mut sense = Sense::Minimize;
     // Row name → (relation, order). The objective row is special-cased.
     let mut obj_row: Option<String> = None;
-    let mut row_rel: HashMap<String, Relation> = HashMap::new();
+    let mut row_rel: BTreeMap<String, Relation> = BTreeMap::new();
     let mut row_order: Vec<String> = Vec::new();
     // Column name → var id, with accumulated entries.
-    let mut col_ids: HashMap<String, VarId> = HashMap::new();
+    let mut col_ids: BTreeMap<String, VarId> = BTreeMap::new();
     let mut col_order: Vec<String> = Vec::new();
-    let mut obj_coef: HashMap<String, f64> = HashMap::new();
-    let mut entries: HashMap<(String, String), f64> = HashMap::new(); // (row, col)
-    let mut rhs: HashMap<String, f64> = HashMap::new();
-    let mut ranges: HashMap<String, f64> = HashMap::new();
+    let mut obj_coef: BTreeMap<String, f64> = BTreeMap::new();
+    let mut entries: BTreeMap<(String, String), f64> = BTreeMap::new(); // (row, col)
+    let mut rhs: BTreeMap<String, f64> = BTreeMap::new();
+    let mut ranges: BTreeMap<String, f64> = BTreeMap::new();
     let mut bounds: Vec<(String, String, Option<f64>, usize)> = Vec::new(); // (type, col, value)
     let mut integer_cols: Vec<String> = Vec::new();
 
@@ -538,6 +538,19 @@ ENDATA
     fn rejects_unknown_section() {
         let e = parse("GARBAGE\n").unwrap_err();
         assert!(e.message.contains("unknown section"));
+    }
+
+    #[test]
+    fn export_is_byte_deterministic() {
+        // Column/row order must come from the document and the ordered
+        // maps, never from hash iteration: two independent parses must
+        // serialize byte-identically, and the serialized form must be a
+        // fixed point of parse ∘ write.
+        let a = write(&parse(SAMPLE).unwrap());
+        let b = write(&parse(SAMPLE).unwrap());
+        assert_eq!(a, b, "independent parses must export identically");
+        let c = write(&parse(&a).unwrap());
+        assert_eq!(a, c, "write ∘ parse must be a fixed point");
     }
 
     #[test]

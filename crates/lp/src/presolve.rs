@@ -322,6 +322,12 @@ pub fn presolve_and_solve(problem: &Problem) -> Result<Solution, SolveError> {
     let (reduced, restoration, report) = presolve(problem)?;
     let sol = reduced.solve()?;
     let restored = restoration.restore(&sol);
+    // The restoration step is the error-prone half of presolve: certify
+    // the *restored* point against the *original* problem in debug
+    // builds, not just the reduced solve against the reduced problem.
+    if cfg!(debug_assertions) {
+        crate::verify::verify(problem, &restored, 1e-6)?;
+    }
     let stats = crate::solution::SolveStats {
         presolve_removed_rows: report.removed_rows,
         presolve_removed_vars: report.removed_vars,

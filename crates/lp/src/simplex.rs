@@ -41,6 +41,12 @@ pub struct SolveOptions {
     /// Number of consecutive degenerate pivots before switching to
     /// Bland's rule.
     pub bland_after: usize,
+    /// Independently certify every returned solution via
+    /// [`crate::verify`] (recomputed residuals, bounds, objective) and
+    /// fail the solve with [`SolveError::CertificateRejected`] on
+    /// disagreement. Always on under `debug_assertions`; this flag forces
+    /// it in release builds (`MetisConfig::audit` sets it).
+    pub verify: bool,
 }
 
 impl Default for SolveOptions {
@@ -51,6 +57,7 @@ impl Default for SolveOptions {
             max_iterations: 0,
             refresh_every: 300,
             bland_after: 200,
+            verify: false,
         }
     }
 }
@@ -86,7 +93,9 @@ impl Problem {
     /// See [`Problem::solve`].
     pub fn solve_with(&self, options: &SolveOptions) -> Result<Solution, SolveError> {
         let mut s = Simplex::new(self, options);
-        s.run()
+        let solution = s.run()?;
+        self.certify_if_requested(options, &solution)?;
+        Ok(solution)
     }
 
     /// Solves the relaxation, optionally warm-starting from a [`Basis`]
@@ -111,7 +120,10 @@ impl Problem {
         if let Some(basis) = warm {
             let mut s = Simplex::new(self, options);
             match s.run_from_basis(basis) {
-                Ok(done) => return Ok(done),
+                Ok(done) => {
+                    self.certify_if_requested(options, &done.0)?;
+                    return Ok(done);
+                }
                 Err(SolveError::Infeasible) => return Err(SolveError::Infeasible),
                 Err(SolveError::Unbounded) => return Err(SolveError::Unbounded),
                 Err(_) => { /* numerically unusable start: cold-start below */ }
@@ -119,8 +131,24 @@ impl Problem {
         }
         let mut s = Simplex::new(self, options);
         let solution = s.run()?;
+        self.certify_if_requested(options, &solution)?;
         let basis = s.snapshot();
         Ok((solution, basis))
+    }
+
+    /// Runs [`crate::verify`] on a freshly produced solution when
+    /// [`SolveOptions::verify`] is set or in debug builds. The
+    /// certificate tolerance is one order looser than the solver's own,
+    /// so honest accumulated rounding never trips it.
+    fn certify_if_requested(
+        &self,
+        options: &SolveOptions,
+        solution: &Solution,
+    ) -> Result<(), SolveError> {
+        if options.verify || cfg!(debug_assertions) {
+            crate::verify::verify(self, solution, options.tol * 10.0)?;
+        }
+        Ok(())
     }
 }
 
@@ -274,6 +302,7 @@ impl Simplex {
             VarState::AtLower => self.lower[j],
             VarState::AtUpper => self.upper[j],
             VarState::FreeZero => 0.0,
+            // metis-lint: allow(PANIC-01): callers filter to nonbasic states; enum invariant
             VarState::Basic(_) => unreachable!("basic variable has no resting value"),
         }
     }
@@ -471,6 +500,7 @@ impl Simplex {
         if basic_count != m {
             return Err(SolveError::Singular);
         }
+        // metis-lint: allow(PANIC-01): basic_count == m above guarantees every slot is filled
         self.basis = basis.into_iter().map(|b| b.unwrap()).collect();
         self.binv = vec![0.0; m * m];
         self.xb = vec![0.0; m];
@@ -517,6 +547,7 @@ impl Simplex {
                 VarState::AtLower => self.lower[j] >= self.upper[j] || d >= -tol,
                 VarState::AtUpper => self.lower[j] >= self.upper[j] || d <= tol,
                 VarState::FreeZero => d.abs() <= tol,
+                // metis-lint: allow(PANIC-01): the iteration skips basic columns; enum invariant
                 VarState::Basic(_) => unreachable!(),
             };
             if !ok {
@@ -907,6 +938,7 @@ impl Simplex {
             self.xb[i] -= step * dir * self.w[i];
         }
         let entering_start = match self.state[col] {
+            // metis-lint: allow(PANIC-01): pricing only selects nonbasic columns; enum invariant
             VarState::Basic(_) => unreachable!("entering variable is basic"),
             st => self.nonbasic_value(col, st),
         };

@@ -124,8 +124,7 @@ impl Ord for HeapItem {
         // Min-heap on distance.
         other
             .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.dist)
             .then_with(|| self.node.cmp(&other.node))
     }
 }
@@ -268,7 +267,7 @@ pub fn k_shortest_paths(
         let (best_idx, _) = candidates
             .iter()
             .enumerate()
-            .min_by(|(_, a), (_, b)| a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal))
+            .min_by(|(_, a), (_, b)| a.0.total_cmp(&b.0))
             .unwrap();
         let (_, edges) = candidates.swap_remove(best_idx);
         found.push(Path::from_edges(topo, edges));

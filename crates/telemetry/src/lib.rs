@@ -106,6 +106,12 @@ pub mod names {
     pub const ONLINE_EPOCH_PROFIT: &str = "online.epoch.profit";
     /// Event kind used for contained failures.
     pub const EVENT_INCIDENT: &str = "incident";
+    /// Counter: individual invariant checks performed by solution audits.
+    pub const AUDIT_CHECKS: &str = "audit.checks";
+    /// Counter: audit checks that found a broken invariant.
+    pub const AUDIT_VIOLATIONS: &str = "audit.violations";
+    /// Event kind used for audit violations (one event per violation).
+    pub const EVENT_AUDIT: &str = "audit.violation";
 
     /// Span: one whole offline Metis run.
     pub const SPAN_METIS: &str = "metis";

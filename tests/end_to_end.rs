@@ -21,6 +21,26 @@ fn b4_instance(k: usize, seed: u64) -> SpmInstance {
     SpmInstance::new(topo, requests, 12, 3)
 }
 
+/// A θ-round config for this suite. Setting `METIS_AUDIT` in the
+/// environment (the CI audit leg does, in release mode) forces the
+/// solution audits on, so every Metis run below re-derives its load and
+/// accounting from scratch and fails loudly on any disagreement.
+fn theta(theta: usize) -> MetisConfig {
+    MetisConfig {
+        audit: std::env::var_os("METIS_AUDIT").is_some(),
+        ..MetisConfig::with_theta(theta)
+    }
+}
+
+/// Runs Metis under [`theta`] and asserts a clean audit when one ran.
+fn run_metis(inst: &SpmInstance, rounds: usize) -> metis_suite::core::MetisResult {
+    let result = metis(inst, &theta(rounds)).unwrap();
+    if let Some(report) = &result.audit {
+        assert!(report.is_clean(), "{report}");
+    }
+    result
+}
+
 #[test]
 fn every_scheduler_produces_valid_schedules() {
     let inst = b4_instance(80, 1);
@@ -40,10 +60,7 @@ fn every_scheduler_produces_valid_schedules() {
             "taa",
             taa(&inst, &caps, &TaaOptions::default()).unwrap().schedule,
         ),
-        (
-            "metis",
-            metis(&inst, &MetisConfig::with_theta(4)).unwrap().schedule,
-        ),
+        ("metis", run_metis(&inst, 4).schedule),
     ];
     for (name, s) in schedules {
         assert_eq!(s.len(), 80, "{name}: wrong request count");
@@ -90,7 +107,7 @@ fn exact_optimum_dominates_every_heuristic() {
     assert!(opt.optimal, "instance must be exactly solvable");
 
     let eco = ecoflow(&inst).evaluate(&inst);
-    let m = metis(&inst, &MetisConfig::with_theta(6)).unwrap();
+    let m = run_metis(&inst, 6);
     let serve_all = maa(&inst, &[true; 12], &MaaOptions::default())
         .unwrap()
         .evaluation;
@@ -118,7 +135,7 @@ fn opt_rlspm_is_cheapest_way_to_serve_all() {
 #[test]
 fn warm_started_opt_never_loses_to_its_seed() {
     let inst = sub_b4_instance(40, 5, 3);
-    let m = metis(&inst, &MetisConfig::with_theta(5)).unwrap();
+    let m = run_metis(&inst, 5);
     let opt = opt_spm_with_start(
         &inst,
         &IlpOptions {
@@ -139,7 +156,7 @@ fn metis_profit_beats_current_service_mode_at_scale() {
     let inst = b4_instance(300, 2);
     let serve_all = maa(&inst, &[true; 300], &MaaOptions::default()).unwrap();
     let serve_all_profit = serve_all.evaluation.revenue - serve_all.evaluation.cost;
-    let m = metis(&inst, &MetisConfig::with_theta(8)).unwrap();
+    let m = run_metis(&inst, 8);
     assert!(
         m.evaluation.profit >= serve_all_profit,
         "metis {} < serve-all {}",
@@ -165,7 +182,7 @@ fn lp_relaxations_bracket_integral_solutions() {
 fn pipeline_is_deterministic() {
     let run = || {
         let inst = b4_instance(120, 9);
-        let m = metis(&inst, &MetisConfig::with_theta(5)).unwrap();
+        let m = run_metis(&inst, 5);
         (
             m.evaluation.profit,
             m.evaluation.accepted,
@@ -182,7 +199,7 @@ fn pipeline_is_deterministic() {
 #[test]
 fn declined_requests_cost_nothing() {
     let inst = sub_b4_instance(20, 7, 3);
-    let m = metis(&inst, &MetisConfig::with_theta(6)).unwrap();
+    let m = run_metis(&inst, 6);
     // Rebuild the load from scratch; only accepted requests contribute.
     let ev = m.schedule.evaluate(&inst);
     let mut expected_revenue = 0.0;

@@ -98,13 +98,14 @@ fn telemetry_online_on_off_bit_identical() {
 fn snapshot_schema_matches_golden_fixture() {
     let inst = fixture();
     let tele = Telemetry::enabled();
-    let _ = metis_instrumented(
-        &inst,
-        &MetisConfig::with_theta(THETA),
-        &FaultPlan::none(),
-        &tele,
-    )
-    .unwrap();
+    // Audit explicitly on: debug builds audit regardless, so forcing the
+    // flag keeps the recorded schema (which includes the audit counters)
+    // identical across build profiles.
+    let cfg = MetisConfig {
+        audit: true,
+        ..MetisConfig::with_theta(THETA)
+    };
+    let _ = metis_instrumented(&inst, &cfg, &FaultPlan::none(), &tele).unwrap();
     let Some(snap) = tele.snapshot() else {
         return; // capture feature compiled out
     };
