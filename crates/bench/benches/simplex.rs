@@ -3,7 +3,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use metis_core::{solve_rlspm_relaxation, SpmInstance};
-use metis_lp::{Problem, Relation, Sense, SolveOptions};
+use metis_lp::{BasisBackend, Problem, Relation, Sense, SolveOptions};
 use metis_netsim::topologies;
 use metis_workload::{generate, WorkloadConfig};
 
@@ -64,5 +64,35 @@ fn bench_rlspm_relaxation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_transportation, bench_rlspm_relaxation);
+/// Dense explicit `B⁻¹` vs sparse LU + eta file on the same LPs at
+/// growing row counts (`m = 2n`). The sparse backend should pull ahead
+/// as `m` grows; `bench_lp` tracks the same comparison outside Criterion.
+fn bench_basis_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simplex/basis_backend");
+    g.sample_size(10);
+    for n in [50usize, 150, 250] {
+        let p = transportation_lp(n);
+        let m = 2 * n;
+        for (label, backend) in [
+            ("dense", BasisBackend::Dense),
+            ("sparse_lu", BasisBackend::SparseLu),
+        ] {
+            let opts = SolveOptions {
+                basis: backend,
+                ..SolveOptions::default()
+            };
+            g.bench_with_input(BenchmarkId::new(label, m), &p, |b, p| {
+                b.iter(|| p.solve_with(&opts).expect("feasible"));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_transportation,
+    bench_rlspm_relaxation,
+    bench_basis_backends
+);
 criterion_main!(benches);

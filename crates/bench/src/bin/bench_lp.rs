@@ -1,0 +1,169 @@
+//! Dense-vs-sparse LP backend A/B benchmark.
+//!
+//! Solves deterministic transportation-style LPs of growing size with
+//! both [`BasisBackend`]s, certificate-verifying every solve, and
+//! reports per-backend wall clock, per-pivot time, and factorization
+//! counters. Results go to stdout as an aligned table and to
+//! `BENCH_lp.json` (override with `--out PATH`) as canonical JSON for
+//! CI trend tracking.
+//!
+//! Usage: `bench_lp [--quick] [--out PATH]`
+
+use std::time::Instant;
+
+use metis_bench::json::{obj, Json};
+use metis_lp::{BasisBackend, Problem, Relation, Sense, SolveOptions};
+
+/// A dense-ish transportation-style LP with `n` supplies and `n`
+/// demands (`m = 2n` rows), mirroring `benches/simplex.rs`.
+fn transportation_lp(n: usize) -> Problem {
+    let mut p = Problem::new(Sense::Minimize);
+    let mut vars = Vec::with_capacity(n * n);
+    for i in 0..n {
+        for j in 0..n {
+            let cost = 1.0 + ((i * 7 + j * 13) % 17) as f64;
+            vars.push(p.add_var(cost, 0.0, f64::INFINITY));
+        }
+    }
+    for i in 0..n {
+        p.add_constraint(
+            (0..n).map(|j| (vars[i * n + j], 1.0)),
+            Relation::Le,
+            10.0 + (i % 3) as f64,
+        );
+    }
+    for j in 0..n {
+        p.add_constraint(
+            (0..n).map(|i| (vars[i * n + j], 1.0)),
+            Relation::Ge,
+            5.0 + (j % 4) as f64,
+        );
+    }
+    p
+}
+
+struct Measured {
+    median_solve_ns: u128,
+    median_pivot_ns: u128,
+    objective: f64,
+    iterations: usize,
+    refactorizations: usize,
+    eta_updates: usize,
+    lu_l_nnz: usize,
+    lu_u_nnz: usize,
+    pricing_block_scans: usize,
+}
+
+fn measure(p: &Problem, backend: BasisBackend, trials: usize) -> Measured {
+    let opts = SolveOptions {
+        basis: backend,
+        // Independent certification: recomputed residuals, bounds, and
+        // objective must match or the solve errors out.
+        verify: true,
+        ..SolveOptions::default()
+    };
+    let mut times: Vec<u128> = Vec::with_capacity(trials);
+    let mut last = None;
+    for _ in 0..trials {
+        // metis-lint: allow(DET-02): wall-clock benchmark harness; timings are the output
+        let t = Instant::now();
+        let s = p.solve_with(&opts).expect("benchmark LP must be feasible");
+        times.push(t.elapsed().as_nanos());
+        last = Some(s);
+    }
+    times.sort_unstable();
+    let median_solve_ns = times[times.len() / 2];
+    let s = last.expect("at least one trial");
+    let st = *s.stats();
+    Measured {
+        median_solve_ns,
+        median_pivot_ns: median_solve_ns / (st.iterations.max(1) as u128),
+        objective: s.objective(),
+        iterations: st.iterations,
+        refactorizations: st.refreshes,
+        eta_updates: st.eta_updates,
+        lu_l_nnz: st.lu_l_nnz,
+        lu_u_nnz: st.lu_u_nnz,
+        pricing_block_scans: st.pricing_block_scans,
+    }
+}
+
+fn backend_json(m: &Measured) -> Json {
+    obj([
+        ("median_solve_ns", Json::Num(m.median_solve_ns as f64)),
+        ("median_pivot_ns", Json::Num(m.median_pivot_ns as f64)),
+        ("objective", Json::Num(m.objective)),
+        ("iterations", Json::Num(m.iterations as f64)),
+        ("refactorizations", Json::Num(m.refactorizations as f64)),
+        ("eta_updates", Json::Num(m.eta_updates as f64)),
+        ("lu_l_nnz", Json::Num(m.lu_l_nnz as f64)),
+        ("lu_u_nnz", Json::Num(m.lu_u_nnz as f64)),
+        (
+            "pricing_block_scans",
+            Json::Num(m.pricing_block_scans as f64),
+        ),
+    ])
+}
+
+fn main() {
+    let quick = metis_bench::quick_mode();
+    let args: Vec<String> = std::env::args().collect();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_lp.json")
+        .to_string();
+
+    let sizes: &[usize] = if quick { &[50, 150] } else { &[50, 150, 250] };
+    let trials = if quick { 3 } else { 5 };
+
+    println!(
+        "{:>6} {:>14} {:>14} {:>9} {:>8} {:>8} {:>9}",
+        "m", "dense/solve", "sparse/solve", "speedup", "pivots", "refacts", "etas"
+    );
+    let mut entries: Vec<Json> = Vec::new();
+    for &n in sizes {
+        let p = transportation_lp(n);
+        let m = 2 * n;
+        let dense = measure(&p, BasisBackend::Dense, trials);
+        let sparse = measure(&p, BasisBackend::SparseLu, trials);
+        assert!(
+            (dense.objective - sparse.objective).abs() <= 1e-6 * (1.0 + dense.objective.abs()),
+            "backend objectives diverged at m={m}: dense {} vs sparse {}",
+            dense.objective,
+            sparse.objective
+        );
+        let speedup = dense.median_solve_ns as f64 / sparse.median_solve_ns.max(1) as f64;
+        println!(
+            "{:>6} {:>12.3}ms {:>12.3}ms {:>8.2}x {:>8} {:>8} {:>9}",
+            m,
+            dense.median_solve_ns as f64 / 1e6,
+            sparse.median_solve_ns as f64 / 1e6,
+            speedup,
+            sparse.iterations,
+            sparse.refactorizations,
+            sparse.eta_updates,
+        );
+        entries.push(obj([
+            ("m", Json::Num(m as f64)),
+            ("n_vars", Json::Num((n * n) as f64)),
+            ("dense", backend_json(&dense)),
+            ("sparse_lu", backend_json(&sparse)),
+            ("speedup", Json::Num(speedup)),
+        ]));
+    }
+
+    let doc = obj([
+        ("benchmark", Json::Str("lp_backend_ab".to_string())),
+        ("trials", Json::Num(trials as f64)),
+        ("entries", Json::Arr(entries)),
+    ]);
+    let text = doc.to_pretty();
+    if let Err(e) = std::fs::write(&out_path, text + "\n") {
+        eprintln!("failed to write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+}

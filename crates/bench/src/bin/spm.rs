@@ -10,7 +10,7 @@
 
 use metis_baselines::{ecoflow, mincost, opt_spm_with_start};
 use metis_bench::json::{obj, Json};
-use metis_bench::report::phase_timing_table;
+use metis_bench::report::{lp_stats_table, phase_timing_table};
 use metis_core::{maa, metis_instrumented, FaultPlan, MaaOptions, MetisConfig, SpmInstance};
 use metis_lp::IlpOptions;
 use metis_netsim::topologies;
@@ -665,6 +665,7 @@ fn main() {
                 }
                 if !args.json {
                     println!("\n{}", phase_timing_table(&snap).render());
+                    println!("\n{}", lp_stats_table(&snap).render());
                 }
             }
             None => eprintln!(

@@ -119,6 +119,36 @@ pub fn phase_timing_table(snapshot: &Snapshot) -> Table {
     t
 }
 
+/// Builds the LP-engine work table from a telemetry snapshot: pivot
+/// counts, basis-factorization activity (refactorizations, eta updates,
+/// factor nonzeros), and pricing effort, as recorded by the `lp.*`
+/// counters and gauges.
+pub fn lp_stats_table(snapshot: &Snapshot) -> Table {
+    use metis_telemetry::names;
+    let mut t = Table::new("LP engine (telemetry counters)", &["metric", "value"]);
+    let counters: [(&str, &str); 7] = [
+        ("simplex pivots", names::LP_SIMPLEX_ITERATIONS),
+        ("phase-1 pivots", names::LP_SIMPLEX_PHASE1),
+        ("dual pivots", names::LP_SIMPLEX_DUAL),
+        ("bound flips", names::LP_SIMPLEX_BOUND_FLIPS),
+        ("refactorizations", names::LP_SIMPLEX_REFRESHES),
+        ("eta updates", names::LP_LU_ETA_UPDATES),
+        ("pricing block scans", names::LP_PRICING_BLOCK_SCANS),
+    ];
+    for (label, name) in counters {
+        t.push_row(vec![label.to_string(), snapshot.counter(name).to_string()]);
+    }
+    for (label, name) in [
+        ("last L nnz", names::LP_LU_L_NNZ),
+        ("last U nnz", names::LP_LU_U_NNZ),
+    ] {
+        if let Some(v) = snapshot.gauge(name) {
+            t.push_row(vec![label.to_string(), format!("{v:.0}")]);
+        }
+    }
+    t
+}
+
 /// Formats a float with two decimals (the tables' default precision).
 pub fn f2(v: f64) -> String {
     format!("{v:.2}")

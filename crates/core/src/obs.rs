@@ -13,6 +13,16 @@ pub(crate) fn record_lp_stats(tele: &Telemetry, stats: &SolveStats) {
     tele.add(names::LP_SIMPLEX_DUAL, stats.dual_iterations as u64);
     tele.add(names::LP_SIMPLEX_BOUND_FLIPS, stats.bound_flips as u64);
     tele.add(names::LP_SIMPLEX_REFRESHES, stats.refreshes as u64);
+    tele.add(names::LP_LU_ETA_UPDATES, stats.eta_updates as u64);
+    tele.add(
+        names::LP_PRICING_BLOCK_SCANS,
+        stats.pricing_block_scans as u64,
+    );
+    // nnz of the factors is a size, not a flow: keep the latest value.
+    if stats.lu_l_nnz > 0 || stats.lu_u_nnz > 0 {
+        tele.gauge(names::LP_LU_L_NNZ, stats.lu_l_nnz as f64);
+        tele.gauge(names::LP_LU_U_NNZ, stats.lu_u_nnz as f64);
+    }
     tele.add(names::LP_PRESOLVE_ROWS, stats.presolve_removed_rows as u64);
     tele.add(names::LP_PRESOLVE_VARS, stats.presolve_removed_vars as u64);
     if stats.warm_started {

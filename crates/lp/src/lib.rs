@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod factor;
 pub mod ilp;
 pub mod matrix;
 mod model;
@@ -47,6 +48,6 @@ pub use error::SolveError;
 pub use ilp::{solve_ilp, solve_ilp_with_start, IlpOptions, IlpSolution, IlpStatus};
 pub use model::{Problem, Relation, RowId, Sense, VarId};
 pub use presolve::{presolve, presolve_and_solve, PresolveReport, Restoration};
-pub use simplex::{Basis, SolveOptions};
+pub use simplex::{Basis, BasisBackend, Pricing, SolveOptions};
 pub use solution::{Solution, SolveStats};
 pub use verify::{certify, Certificate};

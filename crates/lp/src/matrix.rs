@@ -107,6 +107,118 @@ impl<'a> ColView<'a> {
     }
 }
 
+/// One triangular factor of a sparse LU decomposition, in
+/// elimination-position space.
+///
+/// Only the strict off-diagonal part is stored, grouped by elimination
+/// step `k`: group `k` holds `(pos, val)` entries with `pos > k`. For
+/// the unit lower factor `L` the groups are its *columns*; for the
+/// upper factor `U` (whose diagonal lives in a separate vector) the
+/// groups are its *rows*. Both orientations support the two
+/// substitutions the simplex FTRAN/BTRAN pair needs:
+///
+/// * [`SparseTriangular::solve_forward`] — the factor (or its
+///   transpose) is lower triangular and the groups are its columns:
+///   scatter each resolved component into the positions after it.
+/// * [`SparseTriangular::solve_backward`] — the factor (or its
+///   transpose) is upper triangular and the groups are its rows:
+///   gather each row's sparse dot product, last position first.
+///
+/// Work is proportional to the stored nonzeros plus one pass over the
+/// dense right-hand side — never `O(m²)`.
+#[derive(Clone, Debug, Default)]
+pub struct SparseTriangular {
+    /// Group boundaries, length `m + 1`.
+    ptr: Vec<usize>,
+    /// Elimination positions, parallel to `val`.
+    idx: Vec<u32>,
+    /// Values, parallel to `idx`.
+    val: Vec<f64>,
+}
+
+impl SparseTriangular {
+    /// Builds a factor from per-step groups of `(position, value)`
+    /// entries. Every entry of group `k` must satisfy `position > k`;
+    /// groups are stored in the order given (callers sort by position
+    /// for reproducible floating-point summation order).
+    pub fn from_groups(groups: Vec<Vec<(u32, f64)>>) -> Self {
+        let mut ptr = Vec::with_capacity(groups.len() + 1);
+        ptr.push(0usize);
+        let total: usize = groups.iter().map(Vec::len).sum();
+        let mut idx = Vec::with_capacity(total);
+        let mut val = Vec::with_capacity(total);
+        for group in &groups {
+            for &(p, v) in group {
+                idx.push(p);
+                val.push(v);
+            }
+            ptr.push(idx.len());
+        }
+        SparseTriangular { ptr, idx, val }
+    }
+
+    /// Number of stored off-diagonal nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Number of elimination steps (the factor is `m × m`).
+    pub fn dim(&self) -> usize {
+        self.ptr.len() - 1
+    }
+
+    /// In-place forward substitution: solves `T x = b` where `T` is
+    /// lower triangular, `b` arrives in `x`, the groups are `T`'s
+    /// columns, and the diagonal is `diag` (unit when `None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` (or a supplied `diag`) is shorter than
+    /// [`SparseTriangular::dim`].
+    pub fn solve_forward(&self, diag: Option<&[f64]>, x: &mut [f64]) {
+        let m = self.dim();
+        for k in 0..m {
+            if let Some(d) = diag {
+                x[k] /= d[k];
+            }
+            let xk = x[k];
+            if xk != 0.0 {
+                for (&p, &v) in self.idx[self.ptr[k]..self.ptr[k + 1]]
+                    .iter()
+                    .zip(&self.val[self.ptr[k]..self.ptr[k + 1]])
+                {
+                    x[p as usize] -= v * xk;
+                }
+            }
+        }
+    }
+
+    /// In-place backward substitution: solves `T x = b` where `T` is
+    /// upper triangular, `b` arrives in `x`, the groups are `T`'s rows,
+    /// and the diagonal is `diag` (unit when `None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` (or a supplied `diag`) is shorter than
+    /// [`SparseTriangular::dim`].
+    pub fn solve_backward(&self, diag: Option<&[f64]>, x: &mut [f64]) {
+        let m = self.dim();
+        for k in (0..m).rev() {
+            let mut acc = x[k];
+            for (&p, &v) in self.idx[self.ptr[k]..self.ptr[k + 1]]
+                .iter()
+                .zip(&self.val[self.ptr[k]..self.ptr[k + 1]])
+            {
+                acc -= v * x[p as usize];
+            }
+            x[k] = match diag {
+                Some(d) => acc / d[k],
+                None => acc,
+            };
+        }
+    }
+}
+
 /// Incremental builder for a [`CscMatrix`], filled column by column.
 #[derive(Clone, Debug, Default)]
 pub struct CscBuilder {

@@ -1,4 +1,4 @@
-//! Bounded-variable revised simplex with a dense explicit basis inverse.
+//! Bounded-variable revised simplex over a factorized sparse basis.
 //!
 //! The solver works on an internal standard form
 //!
@@ -11,20 +11,79 @@
 //! variable per initially-infeasible row. Maximization is handled by
 //! negating the objective.
 //!
-//! Design choices sized for this workspace's LPs (≈10³ rows, ≈10³–10⁴
+//! Design choices sized for this workspace's LPs (up to ≈10³–10⁴ rows and
 //! columns, very sparse):
 //!
-//! * `B⁻¹` is kept as a dense `m×m` matrix, updated by elementary row
-//!   operations on each pivot (`O(m²)`) and recomputed from scratch every
-//!   [`SolveOptions::refresh_every`] pivots to bound drift.
-//! * Dantzig pricing (most violating reduced cost) with an automatic switch
-//!   to Bland's rule after a run of degenerate pivots, which guarantees
-//!   termination.
+//! * The basis is held as a **sparse LU factorization** with Markowitz
+//!   fill-in control ([`crate::factor`]) plus a **product-form eta file**
+//!   appended to on each pivot, so FTRAN (`B⁻¹aⱼ`) and BTRAN (`cᵦᵀB⁻¹`)
+//!   cost time proportional to the factor nonzeros rather than `O(m²)`.
+//!   The factorization is rebuilt every [`SolveOptions::refresh_every`]
+//!   pivots, which bounds both the eta-file length and numerical drift.
+//!   The historical dense explicit `B⁻¹` (elementary row updates per
+//!   pivot, Gauss-Jordan refresh) remains available behind
+//!   [`SolveOptions::basis`]`= `[`BasisBackend::Dense`] for A/B
+//!   validation of results and performance.
+//! * Dantzig pricing (most violating reduced cost), by default over
+//!   **rotating candidate blocks** on large problems ([`Pricing`]) with a
+//!   full sweep before optimality is declared, and an automatic switch to
+//!   Bland's rule after a run of degenerate pivots, which guarantees
+//!   termination. Block rotation is index-ordered and part of solver
+//!   state, so results stay deterministic.
 
 use crate::error::SolveError;
+use crate::factor::{EtaFile, LuFactors};
 use crate::matrix::{CscBuilder, CscMatrix};
 use crate::model::{Problem, Relation, Sense};
 use crate::solution::{Solution, SolveStats};
+
+/// How the simplex represents (the inverse of) the basis matrix.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum BasisBackend {
+    /// Sparse LU factorization with Markowitz ordering and product-form
+    /// eta updates between refactorizations: pivots cost time
+    /// proportional to the factor nonzeros. The default.
+    #[default]
+    SparseLu,
+    /// Dense explicit `m×m` inverse, updated by elementary row
+    /// operations (`O(m²)` per pivot) and recomputed by Gauss-Jordan
+    /// (`O(m³)`). Kept for A/B validation against the sparse backend.
+    Dense,
+}
+
+/// Entering-variable pricing strategy (primal simplex).
+///
+/// All variants price by reduced cost (Dantzig); they differ in how many
+/// candidate columns each iteration examines. Block rotation starts at
+/// block 0 and advances deterministically, and optimality is only
+/// declared after every block has been scanned against the current
+/// duals, so the strategies return the same optima — just with
+/// different pivot sequences.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Pricing {
+    /// Full sweep on small problems, rotating partial blocks once the
+    /// column count reaches an internal threshold. The default.
+    #[default]
+    Auto,
+    /// Scan every nonbasic column on every iteration.
+    Full,
+    /// Rotating candidate blocks of the given size (`0` picks
+    /// `max(256, ⌈√n⌉)`); the scan falls back to the remaining blocks —
+    /// a full sweep — before declaring optimality.
+    Partial(usize),
+}
+
+/// Column-count threshold at which [`Pricing::Auto`] switches from full
+/// sweeps to rotating blocks. Below this, a sweep is cheap enough that
+/// block bookkeeping only adds pivots.
+const PARTIAL_PRICING_MIN_COLS: usize = 3000;
+
+/// Default partial-pricing block size for `n` columns: `max(256, ⌈√n⌉)`.
+/// (IEEE-754 `sqrt` is correctly rounded, so this is deterministic.)
+fn auto_block(n: usize) -> usize {
+    let r = (n as f64).sqrt().ceil() as usize;
+    r.max(256)
+}
 
 /// Tuning knobs for the simplex solver.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -36,11 +95,19 @@ pub struct SolveOptions {
     /// Hard cap on pivots across both phases; `0` means automatic
     /// (`1000 + 50·(m + n)`).
     pub max_iterations: usize,
-    /// Recompute `B⁻¹` from scratch every this many pivots.
+    /// Refactorization cadence: rebuild the basis representation from
+    /// scratch every this many pivots. For [`BasisBackend::SparseLu`]
+    /// this also bounds the eta-file length; for
+    /// [`BasisBackend::Dense`] it bounds drift of the explicit inverse.
     pub refresh_every: usize,
     /// Number of consecutive degenerate pivots before switching to
     /// Bland's rule.
     pub bland_after: usize,
+    /// Basis representation; see [`BasisBackend`]. Both backends accept
+    /// and produce the same warm-start [`Basis`] snapshots.
+    pub basis: BasisBackend,
+    /// Entering-variable pricing strategy; see [`Pricing`].
+    pub pricing: Pricing,
     /// Independently certify every returned solution via
     /// [`crate::verify`] (recomputed residuals, bounds, objective) and
     /// fail the solve with [`SolveError::CertificateRejected`] on
@@ -57,6 +124,8 @@ impl Default for SolveOptions {
             max_iterations: 0,
             refresh_every: 300,
             bland_after: 200,
+            basis: BasisBackend::SparseLu,
+            pricing: Pricing::Auto,
             verify: false,
         }
     }
@@ -175,8 +244,8 @@ struct Simplex {
 
     state: Vec<VarState>,
     basis: Vec<u32>,
-    /// Dense row-major `B⁻¹`, `m × m`.
-    binv: Vec<f64>,
+    /// Basis representation: dense explicit inverse or sparse LU + etas.
+    repr: BasisRepr,
     /// Values of basic variables, per row.
     xb: Vec<f64>,
 
@@ -185,6 +254,10 @@ struct Simplex {
     max_iterations: usize,
     degenerate_streak: usize,
     pivots_since_refresh: usize,
+    /// Partial-pricing block size; `0` means full sweeps.
+    price_block: usize,
+    /// Block the last entering column came from; rotation resumes here.
+    price_cursor: usize,
 
     // Work counters reported through `Solution::stats`.
     phase1_iterations: usize,
@@ -192,14 +265,34 @@ struct Simplex {
     bound_flips: usize,
     refreshes: usize,
     warm_started: bool,
+    eta_updates: usize,
+    lu_l_nnz: usize,
+    lu_u_nnz: usize,
+    pricing_block_scans: usize,
 
     // Scratch buffers reused across iterations.
     y: Vec<f64>,
     w: Vec<f64>,
+    /// Row-space scratch (FTRAN right-hand sides, BTRAN outputs).
+    rowbuf: Vec<f64>,
+    /// Permuted-space scratch handed to [`LuFactors`] solves.
+    lubuf: Vec<f64>,
+}
+
+/// Runtime basis representation behind [`BasisBackend`].
+// One representation lives per solve; the size skew between variants
+// is irrelevant next to the O(m²)/O(nnz) buffers each one owns.
+#[allow(clippy::large_enum_variant)]
+enum BasisRepr {
+    /// Dense row-major `B⁻¹`, `m × m`.
+    Dense { binv: Vec<f64> },
+    /// Sparse LU factors of `B` plus the eta file of pivots applied
+    /// since the last refactorization.
+    Sparse { lu: LuFactors, etas: EtaFile },
 }
 
 /// Outcome of one pricing step.
-enum Pricing {
+enum PriceStep {
     Optimal,
     Enter { col: usize, dir: f64 },
 }
@@ -264,6 +357,25 @@ impl Simplex {
             opts.max_iterations
         };
 
+        let repr = match opts.basis {
+            BasisBackend::Dense => BasisRepr::Dense { binv: Vec::new() },
+            BasisBackend::SparseLu => BasisRepr::Sparse {
+                lu: LuFactors::identity(m),
+                etas: EtaFile::default(),
+            },
+        };
+        // Resolve the pricing strategy against the column count
+        // (structural + slack; phase-1 artificials are few and ride in
+        // the last block).
+        let ncols = n + m;
+        let price_block = match opts.pricing {
+            Pricing::Full => 0,
+            Pricing::Partial(0) => auto_block(ncols),
+            Pricing::Partial(b) => b,
+            Pricing::Auto if ncols >= PARTIAL_PRICING_MIN_COLS => auto_block(ncols),
+            Pricing::Auto => 0,
+        };
+
         Simplex {
             a: builder.build(),
             cost,
@@ -275,20 +387,28 @@ impl Simplex {
             maximize,
             state: Vec::new(),
             basis: Vec::new(),
-            binv: Vec::new(),
+            repr,
             xb: Vec::new(),
             opts: *opts,
             iterations: 0,
             max_iterations,
             degenerate_streak: 0,
             pivots_since_refresh: 0,
+            price_block,
+            price_cursor: 0,
             phase1_iterations: 0,
             dual_iterations: 0,
             bound_flips: 0,
             refreshes: 0,
             warm_started: false,
+            eta_updates: 0,
+            lu_l_nnz: 0,
+            lu_u_nnz: 0,
+            pricing_block_scans: 0,
             y: vec![0.0; m],
             w: vec![0.0; m],
+            rowbuf: vec![0.0; m],
+            lubuf: vec![0.0; m],
         }
     }
 
@@ -334,9 +454,11 @@ impl Simplex {
             .collect();
         self.basis = (0..m).map(|i| (self.n_struct + i) as u32).collect();
         // B = I for the slack basis.
-        self.binv = vec![0.0; m * m];
-        for i in 0..m {
-            self.binv[i * m + i] = 1.0;
+        if let BasisRepr::Dense { binv } = &mut self.repr {
+            *binv = vec![0.0; m * m];
+            for i in 0..m {
+                binv[i * m + i] = 1.0;
+            }
         }
 
         // Row residuals with all structural vars at their resting values.
@@ -369,7 +491,9 @@ impl Simplex {
                 self.xb[i] = sl - r;
                 art_builder.add_col([(i, -1.0)]);
                 // B gets a −1 on this diagonal, so B⁻¹ does too.
-                self.binv[i * m + i] = -1.0;
+                if let BasisRepr::Dense { binv } = &mut self.repr {
+                    binv[i * m + i] = -1.0;
+                }
                 art_rows.push(i);
                 need_phase1 = true;
             } else {
@@ -401,6 +525,7 @@ impl Simplex {
                 self.basis[row] = aj as u32;
             }
 
+            self.factorize_sparse()?;
             self.optimize()?;
             self.phase1_iterations = self.iterations;
 
@@ -422,6 +547,8 @@ impl Simplex {
             // Restore the real objective (zero on artificials).
             self.cost = saved_cost;
             self.cost.resize(n_total + n_art, 0.0);
+        } else {
+            self.factorize_sparse()?;
         }
 
         // --- Phase 2. ---
@@ -502,7 +629,9 @@ impl Simplex {
         }
         // metis-lint: allow(PANIC-01): basic_count == m above guarantees every slot is filled
         self.basis = basis.into_iter().map(|b| b.unwrap()).collect();
-        self.binv = vec![0.0; m * m];
+        if let BasisRepr::Dense { binv } = &mut self.repr {
+            *binv = vec![0.0; m * m];
+        }
         self.xb = vec![0.0; m];
         self.refresh()?; // factorizes B and recomputes xb
 
@@ -524,19 +653,7 @@ impl Simplex {
 
     /// Whether every nonbasic reduced cost is consistent with its status.
     fn is_dual_feasible(&mut self) -> bool {
-        let m = self.m();
-        for j in 0..m {
-            self.y[j] = 0.0;
-        }
-        for (i, &bj) in self.basis.iter().enumerate() {
-            let cb = self.cost[bj as usize];
-            if cb != 0.0 {
-                let row = &self.binv[i * m..(i + 1) * m];
-                for (yj, &bij) in self.y.iter_mut().zip(row) {
-                    *yj += cb * bij;
-                }
-            }
-        }
+        self.compute_duals();
         let tol = self.opts.tol.max(1e-7) * 10.0;
         for j in 0..self.state.len() {
             let d = match self.state[j] {
@@ -597,20 +714,10 @@ impl Simplex {
             };
             let need_up = target > self.xb[row];
 
-            // Duals for reduced costs.
-            for j in 0..m {
-                self.y[j] = 0.0;
-            }
-            for (i, &bcol) in self.basis.iter().enumerate() {
-                let cb = self.cost[bcol as usize];
-                if cb != 0.0 {
-                    let brow = &self.binv[i * m..(i + 1) * m];
-                    for (yj, &bij) in self.y.iter_mut().zip(brow) {
-                        *yj += cb * bij;
-                    }
-                }
-            }
-            let rho = self.binv[row * m..(row + 1) * m].to_vec();
+            // Duals for reduced costs, and row `row` of `B⁻¹` for the
+            // dual ratio test.
+            self.compute_duals();
+            let rho = self.btran_unit(row);
 
             // Entering column: dual ratio test.
             let mut best: Option<(usize, f64, f64, f64)> = None; // (col, dir, ratio, |alpha|)
@@ -693,17 +800,8 @@ impl Simplex {
         // Row duals `y = c_Bᵀ B⁻¹` of the final basis, converted back to
         // the problem's own sense (we minimized the negated objective
         // when maximizing).
-        let m = self.m();
-        let mut duals = vec![0.0; m];
-        for (i, &bj) in self.basis.iter().enumerate() {
-            let cb = self.cost[bj as usize];
-            if cb != 0.0 {
-                let row = &self.binv[i * m..(i + 1) * m];
-                for (dj, &bij) in duals.iter_mut().zip(row) {
-                    *dj += cb * bij;
-                }
-            }
-        }
+        self.compute_duals();
+        let mut duals = self.y.clone();
         if self.maximize {
             for d in &mut duals {
                 *d = -*d;
@@ -716,6 +814,10 @@ impl Simplex {
             bound_flips: self.bound_flips,
             refreshes: self.refreshes,
             warm_started: self.warm_started,
+            eta_updates: self.eta_updates,
+            lu_l_nnz: self.lu_l_nnz,
+            lu_u_nnz: self.lu_u_nnz,
+            pricing_block_scans: self.pricing_block_scans,
             presolve_removed_rows: 0,
             presolve_removed_vars: 0,
         };
@@ -746,8 +848,8 @@ impl Simplex {
             }
             let bland = self.degenerate_streak >= self.opts.bland_after;
             match self.price(bland) {
-                Pricing::Optimal => return Ok(()),
-                Pricing::Enter { col, dir } => {
+                PriceStep::Optimal => return Ok(()),
+                PriceStep::Enter { col, dir } => {
                     self.iterations += 1;
                     self.compute_direction(col);
                     match self.ratio_test(col, dir) {
@@ -775,84 +877,216 @@ impl Simplex {
     }
 
     /// Computes duals `y = c_Bᵀ B⁻¹` and picks an entering column.
-    fn price(&mut self, bland: bool) -> Pricing {
-        let m = self.m();
-        // y = c_B^T · B^{-1}
-        for j in 0..m {
-            self.y[j] = 0.0;
-        }
-        for (i, &bj) in self.basis.iter().enumerate() {
-            let cb = self.cost[bj as usize];
-            if cb != 0.0 {
-                let row = &self.binv[i * m..(i + 1) * m];
-                for (yj, &bij) in self.y.iter_mut().zip(row) {
-                    *yj += cb * bij;
-                }
-            }
-        }
-
+    ///
+    /// Under Bland's rule every column is scanned and the first improving
+    /// index enters (the anti-cycling guarantee needs the global minimum
+    /// index). Otherwise Dantzig pricing runs over the configured blocks:
+    /// a full sweep when `price_block == 0`, else rotating blocks
+    /// starting at the block that produced the last entering column,
+    /// wrapping through all of them — a full scan — before optimality is
+    /// declared.
+    fn price(&mut self, bland: bool) -> PriceStep {
+        self.compute_duals();
         let tol = self.opts.tol;
-        let mut best: Option<(usize, f64, f64)> = None; // (col, dir, score)
-        for j in 0..self.state.len() {
-            let (dir, score) = match self.state[j] {
-                VarState::Basic(_) => continue,
-                VarState::AtLower => {
-                    if self.lower[j] >= self.upper[j] {
-                        continue; // fixed variable
-                    }
-                    let d = self.cost[j] - self.a.dot_col(j, &self.y);
-                    if d < -tol {
-                        (1.0, -d)
-                    } else {
-                        continue;
-                    }
+        let ncols = self.state.len();
+        if bland {
+            for j in 0..ncols {
+                if let Some(dir) = self.price_candidate(j, tol) {
+                    return PriceStep::Enter { col: j, dir: dir.0 };
                 }
-                VarState::AtUpper => {
-                    if self.lower[j] >= self.upper[j] {
-                        continue;
-                    }
-                    let d = self.cost[j] - self.a.dot_col(j, &self.y);
-                    if d > tol {
-                        (-1.0, d)
-                    } else {
-                        continue;
-                    }
-                }
-                VarState::FreeZero => {
-                    let d = self.cost[j] - self.a.dot_col(j, &self.y);
-                    if d < -tol {
-                        (1.0, -d)
-                    } else if d > tol {
-                        (-1.0, d)
-                    } else {
-                        continue;
-                    }
-                }
-            };
-            if bland {
-                return Pricing::Enter { col: j, dir };
             }
+            return PriceStep::Optimal;
+        }
+        if self.price_block == 0 || self.price_block >= ncols {
+            self.pricing_block_scans += 1;
+            return self.price_range(0, ncols, tol);
+        }
+        let nblocks = ncols.div_ceil(self.price_block);
+        for offset in 0..nblocks {
+            let blk = (self.price_cursor + offset) % nblocks;
+            let lo = blk * self.price_block;
+            let hi = (lo + self.price_block).min(ncols);
+            self.pricing_block_scans += 1;
+            if let PriceStep::Enter { col, dir } = self.price_range(lo, hi, tol) {
+                self.price_cursor = blk;
+                return PriceStep::Enter { col, dir };
+            }
+        }
+        PriceStep::Optimal
+    }
+
+    /// Reduced-cost test for one nonbasic column against the current
+    /// duals: `Some((dir, score))` when moving `j` in direction `dir`
+    /// improves the objective by rate `score`.
+    fn price_candidate(&self, j: usize, tol: f64) -> Option<(f64, f64)> {
+        match self.state[j] {
+            VarState::Basic(_) => None,
+            VarState::AtLower => {
+                if self.lower[j] >= self.upper[j] {
+                    return None; // fixed variable
+                }
+                let d = self.cost[j] - self.a.dot_col(j, &self.y);
+                if d < -tol {
+                    Some((1.0, -d))
+                } else {
+                    None
+                }
+            }
+            VarState::AtUpper => {
+                if self.lower[j] >= self.upper[j] {
+                    return None;
+                }
+                let d = self.cost[j] - self.a.dot_col(j, &self.y);
+                if d > tol {
+                    Some((-1.0, d))
+                } else {
+                    None
+                }
+            }
+            VarState::FreeZero => {
+                let d = self.cost[j] - self.a.dot_col(j, &self.y);
+                if d < -tol {
+                    Some((1.0, -d))
+                } else if d > tol {
+                    Some((-1.0, d))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Dantzig pricing over columns `lo..hi`: the most violating reduced
+    /// cost wins, earliest index on ties.
+    fn price_range(&self, lo: usize, hi: usize, tol: f64) -> PriceStep {
+        let mut best: Option<(usize, f64, f64)> = None; // (col, dir, score)
+        for j in lo..hi {
+            let Some((dir, score)) = self.price_candidate(j, tol) else {
+                continue;
+            };
             match best {
                 Some((_, _, s)) if s >= score => {}
                 _ => best = Some((j, dir, score)),
             }
         }
         match best {
-            Some((col, dir, _)) => Pricing::Enter { col, dir },
-            None => Pricing::Optimal,
+            Some((col, dir, _)) => PriceStep::Enter { col, dir },
+            None => PriceStep::Optimal,
         }
+    }
+
+    /// Computes the duals `y = c_Bᵀ B⁻¹` into `self.y` (row space).
+    fn compute_duals(&mut self) {
+        let m = self.rhs.len();
+        let Simplex {
+            repr,
+            y,
+            cost,
+            basis,
+            rowbuf,
+            lubuf,
+            ..
+        } = self;
+        match repr {
+            BasisRepr::Dense { binv } => {
+                for yj in y.iter_mut() {
+                    *yj = 0.0;
+                }
+                for (i, &bj) in basis.iter().enumerate() {
+                    let cb = cost[bj as usize];
+                    if cb != 0.0 {
+                        let row = &binv[i * m..(i + 1) * m];
+                        for (yj, &bij) in y.iter_mut().zip(row) {
+                            *yj += cb * bij;
+                        }
+                    }
+                }
+            }
+            BasisRepr::Sparse { lu, etas } => {
+                // c_B in slot space, pushed back through the etas, then
+                // through the factors.
+                for (ci, &bj) in rowbuf.iter_mut().zip(basis.iter()) {
+                    *ci = cost[bj as usize];
+                }
+                etas.btran(rowbuf);
+                lu.btran(rowbuf, y, lubuf);
+            }
+        }
+    }
+
+    /// Row `row` of `B⁻¹` (= `B⁻ᵀ e_row` in row space), used by the dual
+    /// simplex ratio test.
+    fn btran_unit(&mut self, row: usize) -> Vec<f64> {
+        let m = self.rhs.len();
+        let Simplex {
+            repr,
+            rowbuf,
+            lubuf,
+            ..
+        } = self;
+        match repr {
+            BasisRepr::Dense { binv } => binv[row * m..(row + 1) * m].to_vec(),
+            BasisRepr::Sparse { lu, etas } => {
+                let mut rho = vec![0.0; m];
+                rowbuf.fill(0.0);
+                rowbuf[row] = 1.0;
+                etas.btran(rowbuf);
+                lu.btran(rowbuf, &mut rho, lubuf);
+                rho
+            }
+        }
+    }
+
+    /// Rebuilds the sparse factorization from the current basis and
+    /// empties the eta file. No-op on the dense backend.
+    fn factorize_sparse(&mut self) -> Result<(), SolveError> {
+        let Simplex {
+            repr,
+            a,
+            basis,
+            lu_l_nnz,
+            lu_u_nnz,
+            ..
+        } = self;
+        if let BasisRepr::Sparse { lu, etas } = repr {
+            *lu = LuFactors::factor(a, basis, 1e-12)?;
+            etas.clear();
+            *lu_l_nnz = lu.l_nnz();
+            *lu_u_nnz = lu.u_nnz();
+        }
+        Ok(())
     }
 
     /// `w = B⁻¹ · A[:, col]`.
     fn compute_direction(&mut self, col: usize) {
-        let m = self.m();
-        for i in 0..m {
-            self.w[i] = 0.0;
-        }
-        for (r, v) in self.a.col(col).iter() {
-            // w += v * B^{-1}[:, r]
-            for i in 0..m {
-                self.w[i] += v * self.binv[i * m + r];
+        let m = self.rhs.len();
+        let Simplex {
+            repr,
+            a,
+            w,
+            rowbuf,
+            lubuf,
+            ..
+        } = self;
+        match repr {
+            BasisRepr::Dense { binv } => {
+                for wi in w.iter_mut() {
+                    *wi = 0.0;
+                }
+                for (r, v) in a.col(col).iter() {
+                    // w += v * B^{-1}[:, r]
+                    for i in 0..m {
+                        w[i] += v * binv[i * m + r];
+                    }
+                }
+            }
+            BasisRepr::Sparse { lu, etas } => {
+                rowbuf.fill(0.0);
+                for (r, v) in a.col(col).iter() {
+                    rowbuf[r] = v;
+                }
+                lu.ftran(rowbuf, w, lubuf);
+                etas.ftran(w);
             }
         }
     }
@@ -967,27 +1201,37 @@ impl Simplex {
         self.state[col] = VarState::Basic(row as u32);
         self.xb[row] = entering_value;
 
-        // Elementary row update of B^{-1}: pivot row divided by w_row,
-        // others eliminated.
-        let inv_pivot = 1.0 / pivot;
-        // Split borrow: copy pivot row once.
-        let prow: Vec<f64> = self.binv[row * m..(row + 1) * m]
-            .iter()
-            .map(|&v| v * inv_pivot)
-            .collect();
-        for i in 0..m {
-            if i == row {
-                continue;
-            }
-            let wi = self.w[i];
-            if wi != 0.0 {
-                let base = i * m;
-                for (k, &pv) in prow.iter().enumerate() {
-                    self.binv[base + k] -= wi * pv;
+        match &mut self.repr {
+            BasisRepr::Dense { binv } => {
+                // Elementary row update of B^{-1}: pivot row divided by
+                // w_row, others eliminated.
+                let inv_pivot = 1.0 / pivot;
+                // Split borrow: copy pivot row once.
+                let prow: Vec<f64> = binv[row * m..(row + 1) * m]
+                    .iter()
+                    .map(|&v| v * inv_pivot)
+                    .collect();
+                for i in 0..m {
+                    if i == row {
+                        continue;
+                    }
+                    let wi = self.w[i];
+                    if wi != 0.0 {
+                        let base = i * m;
+                        for (k, &pv) in prow.iter().enumerate() {
+                            binv[base + k] -= wi * pv;
+                        }
+                    }
                 }
+                binv[row * m..(row + 1) * m].copy_from_slice(&prow);
+            }
+            BasisRepr::Sparse { etas, .. } => {
+                // Product-form update: B' = B·E with E the identity whose
+                // column `row` is the entering direction w.
+                etas.push(row, &self.w);
+                self.eta_updates += 1;
             }
         }
-        self.binv[row * m..(row + 1) * m].copy_from_slice(&prow);
 
         self.pivots_since_refresh += 1;
         if self.pivots_since_refresh >= self.opts.refresh_every {
@@ -996,10 +1240,51 @@ impl Simplex {
         Ok(())
     }
 
-    /// Recomputes `B⁻¹` and the basic values from scratch.
+    /// Rebuilds the basis representation from scratch (refactorization)
+    /// and recomputes the basic values.
     fn refresh(&mut self) -> Result<(), SolveError> {
         self.refreshes += 1;
         self.pivots_since_refresh = 0;
+        match self.opts.basis {
+            BasisBackend::Dense => self.refresh_dense()?,
+            BasisBackend::SparseLu => self.factorize_sparse()?,
+        }
+        // xb = B^{-1} (b − N x_N)
+        let mut resid = self.rhs.clone();
+        for (j, &st) in self.state.iter().enumerate() {
+            if matches!(st, VarState::Basic(_)) {
+                continue;
+            }
+            let v = self.nonbasic_value(j, st);
+            if v != 0.0 {
+                self.a.axpy_col(j, -v, &mut resid);
+            }
+        }
+        let m = self.m();
+        let Simplex {
+            repr, xb, lubuf, ..
+        } = self;
+        match repr {
+            BasisRepr::Dense { binv } => {
+                for (i, xi) in xb.iter_mut().enumerate() {
+                    let base = i * m;
+                    *xi = binv[base..base + m]
+                        .iter()
+                        .zip(&resid)
+                        .map(|(b, r)| b * r)
+                        .sum();
+                }
+            }
+            BasisRepr::Sparse { lu, .. } => {
+                // The eta file was just cleared; the factors alone are B.
+                lu.ftran(&resid, xb, lubuf);
+            }
+        }
+        Ok(())
+    }
+
+    /// Recomputes the dense explicit `B⁻¹` by Gauss-Jordan elimination.
+    fn refresh_dense(&mut self) -> Result<(), SolveError> {
         let m = self.m();
         // Assemble B column-wise into an augmented [B | I] dense matrix and
         // run Gauss-Jordan with partial pivoting.
@@ -1048,29 +1333,15 @@ impl Simplex {
                 }
             }
         }
-        for i in 0..m {
-            for k in 0..m {
-                self.binv[i * m + k] = aug[i * width + m + k];
+        if let BasisRepr::Dense { binv } = &mut self.repr {
+            if binv.len() != m * m {
+                *binv = vec![0.0; m * m];
             }
-        }
-        // xb = B^{-1} (b − N x_N)
-        let mut resid = self.rhs.clone();
-        for (j, &st) in self.state.iter().enumerate() {
-            if matches!(st, VarState::Basic(_)) {
-                continue;
+            for i in 0..m {
+                for k in 0..m {
+                    binv[i * m + k] = aug[i * width + m + k];
+                }
             }
-            let v = self.nonbasic_value(j, st);
-            if v != 0.0 {
-                self.a.axpy_col(j, -v, &mut resid);
-            }
-        }
-        for i in 0..m {
-            let base = i * m;
-            self.xb[i] = self.binv[base..base + m]
-                .iter()
-                .zip(&resid)
-                .map(|(b, r)| b * r)
-                .sum();
         }
         Ok(())
     }

@@ -24,6 +24,18 @@ pub struct SolveStats {
     /// Whether this solve reoptimized from a supplied basis rather than
     /// starting cold.
     pub warm_started: bool,
+    /// Product-form eta updates appended between refactorizations
+    /// (0 on the dense backend, which updates `B⁻¹` in place).
+    pub eta_updates: usize,
+    /// Nonzeros in the `L` factor of the last sparse refactorization
+    /// (0 on the dense backend).
+    pub lu_l_nnz: usize,
+    /// Nonzeros in the `U` factor (diagonal included) of the last sparse
+    /// refactorization (0 on the dense backend).
+    pub lu_u_nnz: usize,
+    /// Pricing block scans: full sweeps count one each; under partial
+    /// pricing each candidate block examined counts one.
+    pub pricing_block_scans: usize,
     /// Rows removed by presolve (0 unless the presolve path ran).
     pub presolve_removed_rows: usize,
     /// Variables removed by presolve (0 unless the presolve path ran).

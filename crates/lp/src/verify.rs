@@ -1,6 +1,8 @@
 //! Independent certification of reported LP solutions.
 //!
-//! A simplex solve is ~O(m²) work per pivot; checking its answer is one
+//! A simplex solve does a sparse LU refactorization plus FTRAN/BTRAN
+//! triangular solves per pivot (or `O(m²)` dense-inverse updates on the
+//! [`crate::BasisBackend::Dense`] fallback); checking its answer is one
 //! sparse matrix-vector product. This module recomputes, from the
 //! [`Problem`] alone, everything a [`Solution`] claims — row activities,
 //! bound satisfaction, and the objective value — and compares against

@@ -74,6 +74,18 @@ pub mod names {
     pub const LP_SIMPLEX_BOUND_FLIPS: &str = "lp.simplex.bound_flips";
     /// Counter: basis refactorizations.
     pub const LP_SIMPLEX_REFRESHES: &str = "lp.simplex.refactorizations";
+    /// Counter: product-form eta updates between refactorizations
+    /// (sparse LU backend).
+    pub const LP_LU_ETA_UPDATES: &str = "lp.lu.eta_updates";
+    /// Gauge: nonzeros in the `L` factor of the most recent sparse
+    /// refactorization.
+    pub const LP_LU_L_NNZ: &str = "lp.lu.l_nnz";
+    /// Gauge: nonzeros in the `U` factor (diagonal included) of the most
+    /// recent sparse refactorization.
+    pub const LP_LU_U_NNZ: &str = "lp.lu.u_nnz";
+    /// Counter: pricing block scans (full sweeps count one; partial
+    /// pricing counts each candidate block examined).
+    pub const LP_PRICING_BLOCK_SCANS: &str = "lp.pricing.block_scans";
     /// Counter: LP solves that reused a previous basis (warm starts).
     pub const LP_WARM_BASIS_REUSE: &str = "lp.warm.basis_reuse";
     /// Counter: LP solves started from scratch.

@@ -1,0 +1,10 @@
+#!/usr/bin/env sh
+# Dense-vs-sparse LP backend benchmark: builds the workspace in release
+# mode, runs the `bench_lp` A/B harness, and leaves its canonical-JSON
+# results (median solve and per-pivot times, refactorization and eta
+# counts, speedup) in BENCH_lp.json for CI trend tracking.
+#
+# Usage: scripts/bench_lp.sh [--quick] [--out PATH]
+set -eu
+cd "$(dirname "$0")/.."
+cargo run --release -p metis-bench --bin bench_lp -- "$@"

@@ -6,8 +6,13 @@
 //! scoring) is structured as indexed families of independent computations
 //! reduced in index order, so the thread count can only change *when*
 //! work happens, never *what* is computed.
+//!
+//! Set `METIS_LP_BASIS=dense` or `=sparse-lu` to pin the LP basis
+//! backend (CI runs the suite once per backend); unset, the solver
+//! default (sparse LU) applies.
 
 use metis_suite::core::{metis, MaaOptions, MetisConfig, ParallelConfig, SpmInstance};
+use metis_suite::lp::BasisBackend;
 use metis_suite::netsim::topologies;
 use metis_suite::workload::{generate, WorkloadConfig};
 
@@ -17,8 +22,18 @@ fn b4_instance(k: usize, seed: u64) -> SpmInstance {
     SpmInstance::new(topo, requests, 12, 3)
 }
 
+/// LP basis backend under test, from the `METIS_LP_BASIS` environment
+/// variable (CI matrix). Unset or unrecognized: the solver default.
+fn lp_basis() -> Option<BasisBackend> {
+    match std::env::var("METIS_LP_BASIS").as_deref() {
+        Ok("dense") => Some(BasisBackend::Dense),
+        Ok("sparse-lu") => Some(BasisBackend::SparseLu),
+        _ => None,
+    }
+}
+
 fn config(threads: usize, warm_start: bool) -> MetisConfig {
-    MetisConfig {
+    let mut cfg = MetisConfig {
         theta: 4,
         warm_start,
         parallel: ParallelConfig {
@@ -31,7 +46,12 @@ fn config(threads: usize, warm_start: bool) -> MetisConfig {
             ..MaaOptions::default()
         },
         ..MetisConfig::default()
+    };
+    if let Some(basis) = lp_basis() {
+        cfg.maa.lp.basis = basis;
+        cfg.taa.lp.basis = basis;
     }
+    cfg
 }
 
 #[test]

@@ -10,13 +10,15 @@
 //! counts {1, 2, 8}, warm and cold.
 //!
 //! Set `METIS_FAULTS_WARM_START=0` or `=1` to restrict the warm-start
-//! modes exercised (the CI matrix does); anything else runs both.
+//! modes exercised (the CI matrix does); anything else runs both. Set
+//! `METIS_LP_BASIS=dense` or `=sparse-lu` to pin the LP basis backend;
+//! unset, the solver default (sparse LU) applies.
 
 use metis_suite::core::{
     metis, metis_with_faults, online_metis, online_metis_with_faults, FaultPlan, Incident,
     MaaOptions, MetisConfig, MetisResult, OnlineOptions, ParallelConfig, Phase, SpmInstance,
 };
-use metis_suite::lp::SolveError;
+use metis_suite::lp::{BasisBackend, SolveError};
 use metis_suite::netsim::topologies;
 use metis_suite::workload::{generate, RequestId, WorkloadConfig};
 
@@ -29,7 +31,7 @@ fn instance(k: usize, seed: u64) -> SpmInstance {
 }
 
 fn config(threads: usize, warm_start: bool) -> MetisConfig {
-    MetisConfig {
+    let mut cfg = MetisConfig {
         theta: THETA,
         warm_start,
         parallel: ParallelConfig {
@@ -42,7 +44,18 @@ fn config(threads: usize, warm_start: bool) -> MetisConfig {
             ..MaaOptions::default()
         },
         ..MetisConfig::default()
+    };
+    // LP basis backend under test, from the CI matrix.
+    let basis = match std::env::var("METIS_LP_BASIS").as_deref() {
+        Ok("dense") => Some(BasisBackend::Dense),
+        Ok("sparse-lu") => Some(BasisBackend::SparseLu),
+        _ => None,
+    };
+    if let Some(basis) = basis {
+        cfg.maa.lp.basis = basis;
+        cfg.taa.lp.basis = basis;
     }
+    cfg
 }
 
 /// Warm-start modes to exercise, restrictable via the

@@ -78,3 +78,33 @@ fn golden_b4_forty_requests() {
     );
     assert!(cold.evaluation.profit >= 0.0 && warm.evaluation.profit >= 0.0);
 }
+
+/// Same fixture, with the LP basis backend pinned explicitly on both
+/// sides of the A/B switch: the sparse-LU and dense-inverse backends
+/// must both land on the pinned golden outcome, warm and cold.
+#[test]
+fn golden_b4_forty_requests_on_both_lp_backends() {
+    use metis_suite::lp::BasisBackend;
+
+    let inst = fixture();
+    for backend in [BasisBackend::SparseLu, BasisBackend::Dense] {
+        for warm_start in [false, true] {
+            let mut cfg = MetisConfig {
+                warm_start,
+                ..MetisConfig::with_theta(THETA)
+            };
+            cfg.maa.lp.basis = backend;
+            cfg.taa.lp.basis = backend;
+            let run = metis(&inst, &cfg).unwrap();
+            assert!(
+                (run.evaluation.profit - GOLDEN_PROFIT).abs() <= TOL,
+                "{backend:?} warm_start={warm_start}: profit {} != pinned {GOLDEN_PROFIT}",
+                run.evaluation.profit
+            );
+            assert_eq!(
+                run.evaluation.accepted, GOLDEN_ACCEPTED,
+                "{backend:?} warm_start={warm_start}: accepted count drifted"
+            );
+        }
+    }
+}
