@@ -13,206 +13,11 @@ use metis_bench::json::{obj, Json};
 use metis_bench::report::{lp_stats_table, phase_timing_table};
 use metis_core::{maa, metis_instrumented, FaultPlan, MaaOptions, MetisConfig, SpmInstance};
 use metis_lp::IlpOptions;
-use metis_netsim::topologies;
 use metis_telemetry::{to_prometheus, Telemetry};
-use metis_workload::{generate, RequestId, ValueModel, WorkloadConfig};
-
-/// Everything a run needs, loadable from a JSON scenario file.
-#[derive(Debug, Clone)]
-struct Scenario {
-    network: NetworkSpec,
-    workload: WorkloadConfig,
-    theta: usize,
-    paths: usize,
-}
-
-fn default_theta() -> usize {
-    8
-}
-fn default_paths() -> usize {
-    3
-}
-
-impl Scenario {
-    /// Parses a scenario document, rejecting unknown fields so typos in
-    /// scenario files fail loudly rather than falling back to defaults.
-    fn from_json(v: &Json) -> Result<Scenario, String> {
-        let fields = v.as_obj().ok_or("scenario must be a JSON object")?;
-        let mut network = None;
-        let mut workload = None;
-        let mut theta = default_theta();
-        let mut paths = default_paths();
-        for (key, value) in fields {
-            match key.as_str() {
-                "network" => network = Some(NetworkSpec::from_json(value)?),
-                "workload" => workload = Some(workload_from_json(value)?),
-                "theta" => {
-                    theta = value
-                        .as_usize()
-                        .ok_or("theta must be a non-negative integer")?
-                }
-                "paths" => {
-                    paths = value
-                        .as_usize()
-                        .ok_or("paths must be a non-negative integer")?
-                }
-                other => return Err(format!("unknown scenario field `{other}`")),
-            }
-        }
-        Ok(Scenario {
-            network: network.ok_or("scenario is missing `network`")?,
-            workload: workload.ok_or("scenario is missing `workload`")?,
-            theta,
-            paths,
-        })
-    }
-}
-
-fn workload_from_json(v: &Json) -> Result<WorkloadConfig, String> {
-    let fields = v.as_obj().ok_or("workload must be a JSON object")?;
-    let mut cfg = WorkloadConfig::default();
-    let (mut saw_requests, mut saw_seed) = (false, false);
-    for (key, value) in fields {
-        match key.as_str() {
-            "num_requests" => {
-                cfg.num_requests = value.as_usize().ok_or("num_requests must be an integer")?;
-                saw_requests = true;
-            }
-            "num_slots" => {
-                cfg.num_slots = value.as_usize().ok_or("num_slots must be an integer")?
-            }
-            "rate_gbps" => {
-                let pair = value.as_arr().ok_or("rate_gbps must be [low, high]")?;
-                let [lo, hi] = pair else {
-                    return Err("rate_gbps must have exactly two entries".into());
-                };
-                cfg.rate_gbps = (
-                    lo.as_f64().ok_or("rate_gbps entries must be numbers")?,
-                    hi.as_f64().ok_or("rate_gbps entries must be numbers")?,
-                );
-            }
-            "value_model" => cfg.value_model = value_model_from_json(value)?,
-            "seed" => {
-                cfg.seed = value
-                    .as_u64()
-                    .ok_or("seed must be a non-negative integer")?;
-                saw_seed = true;
-            }
-            other => return Err(format!("unknown workload field `{other}`")),
-        }
-    }
-    if !saw_requests || !saw_seed {
-        return Err("workload needs at least `num_requests` and `seed`".into());
-    }
-    Ok(cfg)
-}
-
-fn value_model_from_json(v: &Json) -> Result<ValueModel, String> {
-    let fields = v.as_obj().ok_or("value_model must be a JSON object")?;
-    let [(tag, body)] = fields else {
-        return Err("value_model must have exactly one variant key".into());
-    };
-    match tag.as_str() {
-        "PricedPath" => Ok(ValueModel::PricedPath {
-            low: body
-                .get("low")
-                .and_then(Json::as_f64)
-                .ok_or("PricedPath needs a numeric `low`")?,
-            high: body
-                .get("high")
-                .and_then(Json::as_f64)
-                .ok_or("PricedPath needs a numeric `high`")?,
-        }),
-        "Flat" => Ok(ValueModel::Flat {
-            per_unit_slot: body
-                .get("per_unit_slot")
-                .and_then(Json::as_f64)
-                .ok_or("Flat needs a numeric `per_unit_slot`")?,
-        }),
-        other => Err(format!("unknown value_model `{other}`")),
-    }
-}
-
-#[derive(Debug, Clone)]
-enum NetworkSpec {
-    B4,
-    SubB4,
-    Abilene,
-    Geant,
-    Random {
-        nodes: u32,
-        extra_links: usize,
-        seed: u64,
-    },
-}
-
-impl NetworkSpec {
-    fn build(&self) -> metis_netsim::Topology {
-        match self {
-            NetworkSpec::B4 => topologies::b4(),
-            NetworkSpec::SubB4 => topologies::sub_b4(),
-            NetworkSpec::Abilene => topologies::abilene(),
-            NetworkSpec::Geant => topologies::geant(),
-            NetworkSpec::Random {
-                nodes,
-                extra_links,
-                seed,
-            } => topologies::random_wan(*nodes, *extra_links, *seed),
-        }
-    }
-
-    /// Parses the scenario-file form: either a bare topology name
-    /// (`"b4"`) or `{"random": {"nodes": …, "extra_links": …, "seed": …}}`.
-    fn from_json(v: &Json) -> Result<NetworkSpec, String> {
-        if let Some(name) = v.as_str() {
-            return NetworkSpec::parse(name)
-                .ok_or_else(|| format!("unknown network name `{name}`"));
-        }
-        let fields = v.as_obj().ok_or("network must be a name or an object")?;
-        let [(tag, body)] = fields else {
-            return Err("network object must have exactly one variant key".into());
-        };
-        if tag != "random" {
-            return Err(format!("unknown network variant `{tag}`"));
-        }
-        let field = |name: &str| {
-            body.get(name)
-                .and_then(Json::as_u64)
-                .ok_or_else(|| format!("random network needs an integer `{name}`"))
-        };
-        Ok(NetworkSpec::Random {
-            nodes: field("nodes")? as u32,
-            extra_links: field("extra_links")? as usize,
-            seed: field("seed")?,
-        })
-    }
-
-    fn parse(name: &str) -> Option<NetworkSpec> {
-        match name {
-            "b4" => Some(NetworkSpec::B4),
-            "sub-b4" | "sub_b4" => Some(NetworkSpec::SubB4),
-            "abilene" => Some(NetworkSpec::Abilene),
-            "geant" => Some(NetworkSpec::Geant),
-            _ => None,
-        }
-    }
-
-    fn name(&self) -> String {
-        match self {
-            NetworkSpec::B4 => "b4".into(),
-            NetworkSpec::SubB4 => "sub-b4".into(),
-            NetworkSpec::Abilene => "abilene".into(),
-            NetworkSpec::Geant => "geant".into(),
-            NetworkSpec::Random {
-                nodes,
-                extra_links,
-                seed,
-            } => {
-                format!("random({nodes},{extra_links},{seed})")
-            }
-        }
-    }
-}
+use metis_workload::{
+    FamilySpec, Horizon, RequestId, Scenario, TopologySpec, UniformSpec, ValueModel,
+    SCENARIO_VERSION,
+};
 
 #[derive(Debug)]
 struct Args {
@@ -410,6 +215,8 @@ impl AuditOut {
 }
 
 struct Output {
+    scenario: String,
+    family: String,
     network: String,
     requests: usize,
     seed: u64,
@@ -424,6 +231,8 @@ struct Output {
 impl Output {
     fn to_json(&self) -> Json {
         obj([
+            ("scenario", self.scenario.as_str().into()),
+            ("family", self.family.as_str().into()),
             ("network", self.network.as_str().into()),
             ("requests", self.requests.into()),
             ("seed", self.seed.into()),
@@ -458,37 +267,43 @@ fn main() {
         }
     };
     let scenario = match &args.scenario {
-        Some(path) => {
-            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-                eprintln!("cannot read scenario {path}: {e}");
-                std::process::exit(2);
-            });
-            Json::parse(&text)
-                .and_then(|v| Scenario::from_json(&v))
-                .unwrap_or_else(|e| {
-                    eprintln!("invalid scenario {path}: {e}");
-                    std::process::exit(2);
-                })
-        }
+        Some(path) => Scenario::load(path).unwrap_or_else(|e| {
+            eprintln!("invalid scenario {path}: {e}");
+            std::process::exit(2);
+        }),
         None => {
-            let network = NetworkSpec::parse(&args.network).unwrap_or_else(|| {
+            let topology = TopologySpec::parse_name(&args.network).unwrap_or_else(|| {
                 eprintln!(
                     "unknown network {} (use b4, sub-b4, abilene, or geant)",
                     args.network
                 );
                 std::process::exit(2);
             });
+            // CLI flags describe the paper's §V-A setup: one 12-slot
+            // billing cycle of uniform Poisson demand.
             Scenario {
-                network,
-                workload: WorkloadConfig::paper(args.requests, args.seed),
+                version: SCENARIO_VERSION,
+                name: "cli".into(),
+                description: None,
+                topology,
+                horizon: Horizon {
+                    slots_per_cycle: 12,
+                    cycles: 1,
+                },
+                seed: args.seed,
                 theta: args.theta,
                 paths: args.paths,
+                workload: FamilySpec::Uniform(UniformSpec {
+                    num_requests: args.requests,
+                    rate_gbps: (0.1, 5.0),
+                    value_model: ValueModel::default(),
+                }),
             }
         }
     };
-    let topo = scenario.network.build();
-    let requests = generate(&topo, &scenario.workload);
-    let instance = SpmInstance::new(topo, requests, scenario.workload.num_slots, scenario.paths);
+    let topo = scenario.build_topology();
+    let requests = scenario.generate(&topo);
+    let instance = SpmInstance::new(topo, requests, scenario.num_slots(), scenario.paths);
 
     let want_tele = args.telemetry.is_some() || args.telemetry_prometheus.is_some();
     let tele = if want_tele {
@@ -584,9 +399,11 @@ fn main() {
         .collect();
 
     let out = Output {
-        network: scenario.network.name(),
+        scenario: scenario.name.clone(),
+        family: scenario.family().into(),
+        network: scenario.topology.label(),
         requests: instance.num_requests(),
-        seed: scenario.workload.seed,
+        seed: scenario.seed,
         theta: scenario.theta,
         metis: solver_out("metis", &result.evaluation),
         incidents: IncidentsOut {
@@ -602,8 +419,8 @@ fn main() {
         println!("{}", out.to_json().to_pretty());
     } else {
         println!(
-            "{} | K={} seed={} θ={}",
-            out.network, out.requests, out.seed, out.theta
+            "{} [{}] on {} | K={} seed={} θ={}",
+            out.scenario, out.family, out.network, out.requests, out.seed, out.theta
         );
         println!(
             "metis: profit {:.2} (revenue {:.2} − cost {:.2}), accepted {}/{}",

@@ -1,0 +1,133 @@
+//! `zoo` — runs every checked-in scenario and prints the per-scenario
+//! experiment table.
+//!
+//! ```sh
+//! cargo run --release -p metis-bench --bin zoo            # scenarios/
+//! cargo run --release -p metis-bench --bin zoo -- --dir d # another dir
+//! ```
+//!
+//! Every `*.json` under the scenario directory is loaded with the strict
+//! schema loader (an invalid file fails the run — the zoo is only useful
+//! if every inhabitant is healthy), solved with `metis` under a full
+//! audit, and summarized as one table row. The table lands on stdout and
+//! as `results/scenario_zoo.csv`. Exit status is non-zero on any invalid
+//! scenario, solver failure, or audit violation.
+
+use metis_bench::report::{f2, Table};
+use metis_bench::RESULTS_DIR;
+use metis_core::{metis, MetisConfig, SpmInstance};
+use metis_workload::Scenario;
+
+fn scenario_dir() -> String {
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--dir" => {
+                return args.next().unwrap_or_else(|| {
+                    eprintln!("missing value for --dir");
+                    std::process::exit(2);
+                })
+            }
+            "--quick" => {} // accepted for CI symmetry; the zoo is already quick
+            other => {
+                eprintln!("unknown flag {other}\nusage: zoo [--dir scenarios] [--quick]");
+                std::process::exit(2);
+            }
+        }
+    }
+    "scenarios".into()
+}
+
+fn main() {
+    let dir = scenario_dir();
+    let mut paths: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot read scenario directory {dir}: {e}");
+            std::process::exit(2);
+        })
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        eprintln!("no scenario files under {dir}");
+        std::process::exit(2);
+    }
+
+    let mut table = Table::new(
+        "Scenario zoo — one audited metis run per checked-in scenario",
+        &[
+            "scenario",
+            "family",
+            "network",
+            "K",
+            "T",
+            "θ",
+            "profit",
+            "revenue",
+            "cost",
+            "accepted",
+            "incidents",
+        ],
+    );
+    let mut failures = 0usize;
+    for path in &paths {
+        let scenario = match Scenario::load(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("invalid scenario {}: {e}", path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        let topo = scenario.build_topology();
+        let requests = scenario.generate(&topo);
+        let k = requests.len();
+        let instance = SpmInstance::new(topo, requests, scenario.num_slots(), scenario.paths);
+        let config = MetisConfig {
+            audit: true,
+            ..MetisConfig::with_theta(scenario.theta)
+        };
+        let result = match metis(&instance, &config) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("{}: metis failed: {e}", scenario.name);
+                failures += 1;
+                continue;
+            }
+        };
+        if let Some(report) = &result.audit {
+            if !report.is_clean() {
+                eprintln!(
+                    "{}: audit found {} violation(s)",
+                    scenario.name,
+                    report.violations.len()
+                );
+                failures += 1;
+            }
+        }
+        table.push_row(vec![
+            scenario.name.clone(),
+            scenario.family().into(),
+            scenario.topology.label(),
+            k.to_string(),
+            scenario.num_slots().to_string(),
+            scenario.theta.to_string(),
+            f2(result.evaluation.profit),
+            f2(result.evaluation.revenue),
+            f2(result.evaluation.cost),
+            format!("{}/{k}", result.evaluation.accepted),
+            result.incidents.len().to_string(),
+        ]);
+    }
+
+    println!("{}", table.render());
+    if let Err(e) = table.write_csv(RESULTS_DIR, "scenario_zoo.csv") {
+        eprintln!("cannot write {RESULTS_DIR}/scenario_zoo.csv: {e}");
+    }
+    if failures > 0 {
+        eprintln!("{failures} scenario(s) failed");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,179 @@
+//! Auction-style workloads: `v_i` comes from seeded strategic bids.
+//!
+//! Models the bid side of Zhang et al.'s truthful (1−ε)-optimal
+//! reservation auction (PAPERS.md). Each bidder's *true valuation* is
+//! route-priced, `v = rate · (duration/cycle) · cheapest_path_price ·
+//! markup`; under a (1−ε)-optimal truthful mechanism, reporting `v` is a
+//! dominant strategy up to the ε slack, so a configurable
+//! `strategic_fraction` of bidders shade their report to `v · (1 − u·ε)`
+//! with `u ~ U[0,1]` while the rest bid truthfully. The emitted request
+//! value is the *bid*, never above the true valuation and never more
+//! than a factor `1 − ε` below it — which bounds the profit the provider
+//! can lose to shading, the property that makes the mechanism's revenue
+//! a meaningful baseline.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use metis_netsim::{gbps_to_units, NodeId, Topology};
+
+use crate::families::common::{finalize, PriceCache};
+use crate::request::{Request, RequestId};
+use crate::scenario::{AuctionSpec, Horizon};
+
+/// Generates an auction workload; see the module docs for the model.
+///
+/// # Panics
+///
+/// Panics if the topology has fewer than two nodes.
+pub(crate) fn generate(
+    topo: &Topology,
+    horizon: &Horizon,
+    seed: u64,
+    spec: &AuctionSpec,
+) -> Vec<Request> {
+    let n = topo.num_nodes();
+    assert!(n >= 2, "need at least two data centers");
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let num_slots = horizon.num_slots();
+
+    let node_dist = Uniform::new(0, n as u32);
+    let (glo, ghi) = spec.rate_gbps;
+    let rate_dist = Uniform::new_inclusive(glo, ghi);
+    let (mlo, mhi) = spec.markup;
+    let markup_dist = Uniform::new_inclusive(mlo, mhi);
+    let mut prices = PriceCache::new(topo);
+
+    // Poisson arrivals over the horizon, as in the §V-A generator.
+    let mut arrivals = Vec::with_capacity(spec.num_requests);
+    let mut acc = 0.0;
+    for _ in 0..spec.num_requests {
+        let u: f64 = rng.gen();
+        acc += -(1.0 - u).ln();
+        arrivals.push(acc);
+    }
+    let total = acc.max(f64::MIN_POSITIVE);
+
+    let mut out = Vec::with_capacity(spec.num_requests);
+    for (i, &arr) in arrivals.iter().enumerate() {
+        let start = (((arr / total) * num_slots as f64) as usize).min(num_slots - 1);
+        let end = rng.gen_range(start..num_slots);
+        let src = NodeId(node_dist.sample(&mut rng));
+        let dst = loop {
+            let d = NodeId(node_dist.sample(&mut rng));
+            if d != src {
+                break d;
+            }
+        };
+        let rate = gbps_to_units(rate_dist.sample(&mut rng));
+        let duration = (end - start + 1) as f64;
+        let valuation = rate
+            * (duration / horizon.slots_per_cycle as f64)
+            * prices.get(topo, src, dst)
+            * markup_dist.sample(&mut rng);
+        // Fixed draw order: the strategic coin and the shade depth are
+        // consumed for every bidder so the stream stays aligned whatever
+        // the fraction.
+        let strategic = rng.gen::<f64>() < spec.strategic_fraction;
+        let shade_depth: f64 = rng.gen::<f64>() * spec.epsilon;
+        let bid = if strategic {
+            valuation * (1.0 - shade_depth)
+        } else {
+            valuation
+        };
+        out.push(Request {
+            id: RequestId(i as u32),
+            src,
+            dst,
+            start,
+            end,
+            rate,
+            value: bid,
+        });
+    }
+    finalize(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metis_netsim::topologies;
+
+    fn spec(strategic_fraction: f64) -> AuctionSpec {
+        AuctionSpec {
+            num_requests: 500,
+            rate_gbps: (0.1, 5.0),
+            markup: (1.0, 4.0),
+            epsilon: 0.2,
+            strategic_fraction,
+        }
+    }
+
+    const HORIZON: Horizon = Horizon {
+        slots_per_cycle: 12,
+        cycles: 1,
+    };
+
+    #[test]
+    fn deterministic_and_valid() {
+        let topo = topologies::b4();
+        let a = generate(&topo, &HORIZON, 4, &spec(0.5));
+        assert_eq!(a, generate(&topo, &HORIZON, 4, &spec(0.5)));
+        assert_eq!(a.len(), 500);
+        for r in &a {
+            r.validate(topo.num_nodes(), 12).unwrap();
+        }
+    }
+
+    #[test]
+    fn shading_is_bounded_by_epsilon() {
+        // Truthful run vs fully strategic run, same seed: every bid may
+        // drop by at most a factor ε, never rise.
+        let topo = topologies::b4();
+        let truthful = generate(&topo, &HORIZON, 8, &spec(0.0));
+        let strategic = generate(&topo, &HORIZON, 8, &spec(1.0));
+        assert_eq!(truthful.len(), strategic.len());
+        for (t, s) in truthful.iter().zip(&strategic) {
+            assert_eq!(
+                (t.src, t.dst, t.start, t.end),
+                (s.src, s.dst, s.start, s.end)
+            );
+            assert!(
+                s.value <= t.value + 1e-12,
+                "{}: bid rose under shading",
+                t.id
+            );
+            assert!(
+                s.value >= t.value * (1.0 - 0.2) - 1e-12,
+                "{}: shaded below the (1-eps) floor: {} < {}",
+                t.id,
+                s.value,
+                t.value * 0.8
+            );
+        }
+        let shaved = truthful
+            .iter()
+            .zip(&strategic)
+            .filter(|(t, s)| s.value < t.value)
+            .count();
+        assert!(shaved > 400, "only {shaved}/500 bids actually shaded");
+    }
+
+    #[test]
+    fn strategic_fraction_scales_revenue_loss() {
+        let topo = topologies::sub_b4();
+        let total = |f: f64| -> f64 {
+            generate(&topo, &HORIZON, 6, &spec(f))
+                .iter()
+                .map(|r| r.value)
+                .sum()
+        };
+        let (none, half, all) = (total(0.0), total(0.5), total(1.0));
+        assert!(
+            all < half && half < none,
+            "{all} < {half} < {none} violated"
+        );
+    }
+}

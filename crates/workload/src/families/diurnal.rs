@@ -1,0 +1,204 @@
+//! Diurnal and bursty arrival processes over multi-cycle horizons.
+//!
+//! Per-slot arrival intensity follows a raised cosine over each billing
+//! cycle — `λ(c) = 1 + (P−1)·(1 + cos(2π(c − peak)/S))/2` for cycle slot
+//! `c`, peaking at `λ = P = peak_to_trough` and bottoming at `λ = 1` —
+//! repeated across every cycle of the horizon. An optional seeded burst
+//! mask multiplies individual slots' intensity (a two-state
+//! MMPP-flavored overlay). Conditional on the total request count `K`,
+//! the arrival slots of a non-homogeneous Poisson process are i.i.d.
+//! with density ∝ λ, which is exactly how slots are drawn here: one
+//! inverse-CDF lookup per request.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use metis_netsim::{gbps_to_units, NodeId, Topology};
+
+use crate::families::common::{cumulative, finalize, value_of, weighted_index, PriceCache};
+use crate::request::{Request, RequestId};
+use crate::scenario::{DiurnalSpec, Horizon};
+
+/// Per-slot arrival intensity over the whole horizon, bursts included.
+/// Consumes one RNG draw per slot when a burst model is present.
+fn intensities(rng: &mut ChaCha12Rng, horizon: &Horizon, spec: &DiurnalSpec) -> Vec<f64> {
+    let s = horizon.slots_per_cycle as f64;
+    let mut lambda: Vec<f64> = (0..horizon.num_slots())
+        .map(|t| {
+            let c = (t % horizon.slots_per_cycle) as f64;
+            let phase = std::f64::consts::TAU * (c - spec.peak_slot as f64) / s;
+            1.0 + (spec.peak_to_trough - 1.0) * (1.0 + phase.cos()) / 2.0
+        })
+        .collect();
+    if let Some(burst) = &spec.burst {
+        for l in &mut lambda {
+            if rng.gen::<f64>() < burst.prob {
+                *l *= burst.multiplier;
+            }
+        }
+    }
+    lambda
+}
+
+/// Generates a diurnal/bursty workload; see the module docs for the model.
+///
+/// # Panics
+///
+/// Panics if the topology has fewer than two nodes.
+pub(crate) fn generate(
+    topo: &Topology,
+    horizon: &Horizon,
+    seed: u64,
+    spec: &DiurnalSpec,
+) -> Vec<Request> {
+    let n = topo.num_nodes();
+    assert!(n >= 2, "need at least two data centers");
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let num_slots = horizon.num_slots();
+    let cum = cumulative(&intensities(&mut rng, horizon, spec));
+    let max_dur = spec
+        .max_duration_slots
+        .unwrap_or(horizon.slots_per_cycle)
+        .min(num_slots);
+
+    let node_dist = Uniform::new(0, n as u32);
+    let (glo, ghi) = spec.rate_gbps;
+    let rate_dist = Uniform::new_inclusive(glo, ghi);
+    let mut prices = PriceCache::new(topo);
+
+    let mut out = Vec::with_capacity(spec.num_requests);
+    for i in 0..spec.num_requests {
+        let start = weighted_index(&mut rng, &cum);
+        let span = max_dur.min(num_slots - start);
+        let end = start + rng.gen_range(0..span.max(1));
+        let src = NodeId(node_dist.sample(&mut rng));
+        let dst = loop {
+            let d = NodeId(node_dist.sample(&mut rng));
+            if d != src {
+                break d;
+            }
+        };
+        let rate = gbps_to_units(rate_dist.sample(&mut rng));
+        let value = value_of(
+            &mut rng,
+            &spec.value_model,
+            &mut prices,
+            topo,
+            src,
+            dst,
+            rate,
+            end - start + 1,
+            horizon.slots_per_cycle,
+        );
+        out.push(Request {
+            id: RequestId(i as u32),
+            src,
+            dst,
+            start,
+            end,
+            rate,
+            value,
+        });
+    }
+    finalize(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::ValueModel;
+    use crate::scenario::BurstSpec;
+    use metis_netsim::topologies;
+
+    fn spec() -> DiurnalSpec {
+        DiurnalSpec {
+            num_requests: 600,
+            rate_gbps: (0.1, 5.0),
+            value_model: ValueModel::PricedPath {
+                low: 0.5,
+                high: 4.0,
+            },
+            peak_to_trough: 6.0,
+            peak_slot: 4,
+            burst: None,
+            max_duration_slots: None,
+        }
+    }
+
+    const HORIZON: Horizon = Horizon {
+        slots_per_cycle: 12,
+        cycles: 2,
+    };
+
+    #[test]
+    fn deterministic_and_valid() {
+        let topo = topologies::b4();
+        let a = generate(&topo, &HORIZON, 9, &spec());
+        assert_eq!(a, generate(&topo, &HORIZON, 9, &spec()));
+        assert_eq!(a.len(), 600);
+        for r in &a {
+            r.validate(topo.num_nodes(), HORIZON.num_slots()).unwrap();
+        }
+    }
+
+    #[test]
+    fn peak_slots_attract_more_arrivals() {
+        let topo = topologies::b4();
+        let reqs = generate(&topo, &HORIZON, 2, &spec());
+        let mut per_cycle_slot = [0usize; HORIZON.slots_per_cycle];
+        for r in &reqs {
+            per_cycle_slot[r.start % HORIZON.slots_per_cycle] += 1;
+        }
+        // Peak slot (4) vs antipodal trough slot (10): the 6× intensity
+        // ratio must show through the sampling noise.
+        assert!(
+            per_cycle_slot[4] > 2 * per_cycle_slot[10],
+            "peak {} vs trough {}",
+            per_cycle_slot[4],
+            per_cycle_slot[10]
+        );
+    }
+
+    #[test]
+    fn durations_respect_the_cap() {
+        let topo = topologies::sub_b4();
+        let s = DiurnalSpec {
+            max_duration_slots: Some(3),
+            ..spec()
+        };
+        for r in generate(&topo, &HORIZON, 7, &s) {
+            assert!(r.duration() <= 3, "{} runs {} slots", r.id, r.duration());
+        }
+    }
+
+    #[test]
+    fn burst_mask_is_seed_deterministic() {
+        let topo = topologies::sub_b4();
+        let s = DiurnalSpec {
+            burst: Some(BurstSpec {
+                prob: 0.3,
+                multiplier: 8.0,
+            }),
+            ..spec()
+        };
+        let a = generate(&topo, &HORIZON, 13, &s);
+        assert_eq!(a, generate(&topo, &HORIZON, 13, &s));
+        for r in &a {
+            r.validate(topo.num_nodes(), HORIZON.num_slots()).unwrap();
+        }
+    }
+
+    #[test]
+    fn requests_sorted_by_start_with_sequential_ids() {
+        let topo = topologies::sub_b4();
+        let reqs = generate(&topo, &HORIZON, 21, &spec());
+        for (i, w) in reqs.windows(2).enumerate() {
+            assert!(w[0].start <= w[1].start, "unsorted at {i}");
+        }
+        for (i, r) in reqs.iter().enumerate() {
+            assert_eq!(r.id.index(), i);
+        }
+    }
+}

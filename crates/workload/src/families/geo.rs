@@ -1,0 +1,209 @@
+//! Population-weighted geo-distributed demand with a locality factor.
+//!
+//! Sources are drawn proportionally to per-DC *population* weights
+//! (explicit, or node degree by default — better-connected DCs serve
+//! more users). Destinations combine the same population gravity with a
+//! locality kernel that decays geometrically in hop distance from the
+//! source: weight `pop(d) · ((1 − ℓ) + ℓ · 2^{1−hops(s,d)})`. At
+//! `ℓ = 0` this is pure gravity; at `ℓ = 1` each extra hop halves the
+//! destination's weight, concentrating traffic regionally the way
+//! population-following deployments do (cf. the XDN geodistribution
+//! exemplar in SNIPPETS.md).
+
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use metis_netsim::{gbps_to_units, NodeId, Topology};
+
+use crate::families::common::{
+    all_pairs_hops, cumulative, finalize, value_of, weighted_index, PriceCache,
+};
+use crate::request::{Request, RequestId};
+use crate::scenario::{GeoLocalitySpec, Horizon};
+
+/// Generates a geo-locality workload; see the module docs for the model.
+///
+/// # Panics
+///
+/// Panics if the topology has fewer than two nodes or an explicit
+/// population table does not match the node count (the scenario loader's
+/// cross-validation rules both out for loaded scenarios).
+pub(crate) fn generate(
+    topo: &Topology,
+    horizon: &Horizon,
+    seed: u64,
+    spec: &GeoLocalitySpec,
+) -> Vec<Request> {
+    let n = topo.num_nodes();
+    assert!(n >= 2, "need at least two data centers");
+    let pop: Vec<f64> = match &spec.populations {
+        Some(p) => {
+            assert_eq!(p.len(), n, "one population weight per data center");
+            p.clone()
+        }
+        None => (0..n)
+            .map(|i| topo.out_edges(NodeId(i as u32)).len() as f64)
+            .collect(),
+    };
+    let hops = all_pairs_hops(topo);
+    let src_cum = cumulative(&pop);
+    // Per-source destination weights: population gravity × locality kernel.
+    let dst_cum: Vec<Vec<f64>> = (0..n)
+        .map(|s| {
+            let weights: Vec<f64> = (0..n)
+                .map(|d| {
+                    if d == s {
+                        0.0
+                    } else {
+                        let h = hops[s][d].max(1) as i32;
+                        pop[d] * ((1.0 - spec.locality) + spec.locality * 0.5f64.powi(h - 1))
+                    }
+                })
+                .collect();
+            cumulative(&weights)
+        })
+        .collect();
+
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let num_slots = horizon.num_slots();
+    let (glo, ghi) = spec.rate_gbps;
+    let rate_dist = Uniform::new_inclusive(glo, ghi);
+    let mut prices = PriceCache::new(topo);
+
+    // Poisson arrivals over the horizon, as in the §V-A generator.
+    let mut arrivals = Vec::with_capacity(spec.num_requests);
+    let mut acc = 0.0;
+    for _ in 0..spec.num_requests {
+        let u: f64 = rng.gen();
+        acc += -(1.0 - u).ln();
+        arrivals.push(acc);
+    }
+    let total = acc.max(f64::MIN_POSITIVE);
+
+    let mut out = Vec::with_capacity(spec.num_requests);
+    for (i, &arr) in arrivals.iter().enumerate() {
+        let start = (((arr / total) * num_slots as f64) as usize).min(num_slots - 1);
+        let end = rng.gen_range(start..num_slots);
+        let src = weighted_index(&mut rng, &src_cum);
+        let dst = weighted_index(&mut rng, &dst_cum[src]);
+        debug_assert_ne!(src, dst, "self-loops have zero weight");
+        let (src, dst) = (NodeId(src as u32), NodeId(dst as u32));
+        let rate = gbps_to_units(rate_dist.sample(&mut rng));
+        let value = value_of(
+            &mut rng,
+            &spec.value_model,
+            &mut prices,
+            topo,
+            src,
+            dst,
+            rate,
+            end - start + 1,
+            horizon.slots_per_cycle,
+        );
+        out.push(Request {
+            id: RequestId(i as u32),
+            src,
+            dst,
+            start,
+            end,
+            rate,
+            value,
+        });
+    }
+    finalize(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::ValueModel;
+    use metis_netsim::topologies;
+
+    fn spec(locality: f64) -> GeoLocalitySpec {
+        GeoLocalitySpec {
+            num_requests: 400,
+            rate_gbps: (0.1, 5.0),
+            value_model: ValueModel::PricedPath {
+                low: 0.5,
+                high: 4.0,
+            },
+            locality,
+            populations: None,
+        }
+    }
+
+    const HORIZON: Horizon = Horizon {
+        slots_per_cycle: 12,
+        cycles: 1,
+    };
+
+    #[test]
+    fn deterministic_and_valid() {
+        let topo = topologies::b4();
+        let a = generate(&topo, &HORIZON, 5, &spec(0.7));
+        let b = generate(&topo, &HORIZON, 5, &spec(0.7));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 400);
+        for r in &a {
+            r.validate(topo.num_nodes(), 12).unwrap();
+        }
+    }
+
+    #[test]
+    fn locality_shortens_paths() {
+        // Average hop distance between endpoints must shrink as the
+        // locality factor rises.
+        let topo = topologies::b4();
+        let hops = all_pairs_hops(&topo);
+        let mean_hops = |l: f64| {
+            let reqs = generate(&topo, &HORIZON, 11, &spec(l));
+            reqs.iter()
+                .map(|r| hops[r.src.index()][r.dst.index()] as f64)
+                .sum::<f64>()
+                / reqs.len() as f64
+        };
+        assert!(
+            mean_hops(1.0) + 0.2 < mean_hops(0.0),
+            "locality 1.0 should pull endpoints together: {} vs {}",
+            mean_hops(1.0),
+            mean_hops(0.0)
+        );
+    }
+
+    #[test]
+    fn explicit_populations_steer_demand() {
+        // Give one node nearly all the population: most endpoints should
+        // involve it.
+        let topo = topologies::sub_b4();
+        let n = topo.num_nodes();
+        let mut pop = vec![0.01; n];
+        pop[2] = 100.0;
+        let s = GeoLocalitySpec {
+            populations: Some(pop),
+            ..spec(0.0)
+        };
+        let reqs = generate(&topo, &HORIZON, 3, &s);
+        let touching = reqs
+            .iter()
+            .filter(|r| r.src.index() == 2 || r.dst.index() == 2)
+            .count();
+        assert!(
+            touching * 10 > reqs.len() * 9,
+            "only {touching}/{} touch the dominant node",
+            reqs.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one population weight per data center")]
+    fn mismatched_populations_rejected() {
+        let topo = topologies::sub_b4();
+        let s = GeoLocalitySpec {
+            populations: Some(vec![1.0; 3]),
+            ..spec(0.0)
+        };
+        generate(&topo, &HORIZON, 0, &s);
+    }
+}

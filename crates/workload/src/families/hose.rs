@@ -1,0 +1,195 @@
+//! Hose-model virtual-cluster requests per Ludwig et al. (PAPERS.md).
+//!
+//! A virtual cluster abstracts a tenant's deployment as `N` endpoints
+//! connected through one virtual switch with a per-endpoint hose
+//! bandwidth. Mapped onto the paper's point-to-point request model, the
+//! member with the smallest total hop distance to its peers plays the
+//! virtual switch (the *hub*), and every other member contributes an
+//! uplink and a downlink reservation to/from the hub at its hose rate,
+//! all sharing the cluster's time window. One cluster therefore lands
+//! `2·(N−1)` correlated requests whose paths contend around the hub —
+//! precisely the stress on the path-assignment layer that independent
+//! src→dst pairs never produce.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+use metis_netsim::{gbps_to_units, NodeId, Topology};
+
+use crate::families::common::{all_pairs_hops, finalize};
+use crate::request::{Request, RequestId};
+use crate::scenario::{Horizon, HoseSpec};
+
+/// Picks `count` distinct node indices by partial Fisher–Yates over
+/// `0..n`, consuming `count` RNG draws.
+fn distinct_nodes(rng: &mut ChaCha12Rng, n: usize, count: usize) -> Vec<usize> {
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in 0..count {
+        let j = i + (rng.gen::<u64>() as usize) % (n - i);
+        pool.swap(i, j);
+    }
+    pool.truncate(count);
+    pool
+}
+
+/// Generates a hose-model workload; see the module docs for the model.
+///
+/// # Panics
+///
+/// Panics if the topology has fewer nodes than `spec.endpoints` demands.
+pub(crate) fn generate(
+    topo: &Topology,
+    horizon: &Horizon,
+    seed: u64,
+    spec: &HoseSpec,
+) -> Vec<Request> {
+    let n = topo.num_nodes();
+    assert!(
+        spec.endpoints.1 <= n && spec.endpoints.0 >= 2,
+        "cluster size must fit the topology"
+    );
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let num_slots = horizon.num_slots();
+    let max_dur = spec
+        .max_duration_slots
+        .unwrap_or(horizon.slots_per_cycle)
+        .min(num_slots);
+    let hops = all_pairs_hops(topo);
+    let (glo, ghi) = spec.hose_gbps;
+    let rate_dist = Uniform::new_inclusive(glo, ghi);
+    let (mlo, mhi) = spec.markup;
+    let markup_dist = Uniform::new_inclusive(mlo, mhi);
+
+    let mut out = Vec::new();
+    for _ in 0..spec.clusters {
+        let count = rng.gen_range(spec.endpoints.0..=spec.endpoints.1);
+        let members = distinct_nodes(&mut rng, n, count);
+        // The hub is the member closest (total hops) to the rest; ties
+        // break toward the lowest node index for determinism.
+        let hub = *members
+            .iter()
+            .min_by_key(|&&m| {
+                let total: u32 = members.iter().map(|&o| hops[m][o]).sum();
+                (total, m)
+            })
+            .expect("cluster has at least two members");
+        let start = rng.gen_range(0..num_slots);
+        let span = max_dur.min(num_slots - start);
+        let end = start + rng.gen_range(0..span.max(1));
+        let duration = (end - start + 1) as f64;
+        let markup = markup_dist.sample(&mut rng);
+        for &m in &members {
+            if m == hub {
+                continue;
+            }
+            let rate = gbps_to_units(rate_dist.sample(&mut rng));
+            // Hose semantics: the member's ingress and egress hoses are
+            // one reservation each, both billed at the flat tariff under
+            // the cluster's markup.
+            let value = rate * duration * spec.per_unit_slot * markup;
+            for (src, dst) in [(m, hub), (hub, m)] {
+                out.push(Request {
+                    id: RequestId(out.len() as u32),
+                    src: NodeId(src as u32),
+                    dst: NodeId(dst as u32),
+                    start,
+                    end,
+                    rate,
+                    value,
+                });
+            }
+        }
+    }
+    finalize(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metis_netsim::topologies;
+
+    fn spec() -> HoseSpec {
+        HoseSpec {
+            clusters: 8,
+            endpoints: (3, 5),
+            hose_gbps: (0.5, 2.0),
+            per_unit_slot: 1.5,
+            markup: (0.8, 2.5),
+            max_duration_slots: None,
+        }
+    }
+
+    const HORIZON: Horizon = Horizon {
+        slots_per_cycle: 12,
+        cycles: 1,
+    };
+
+    #[test]
+    fn deterministic_and_valid() {
+        let topo = topologies::b4();
+        let a = generate(&topo, &HORIZON, 3, &spec());
+        assert_eq!(a, generate(&topo, &HORIZON, 3, &spec()));
+        // 8 clusters of 3–5 endpoints: between 2·2·8 and 2·4·8 requests.
+        assert!((32..=64).contains(&a.len()), "{} requests", a.len());
+        for r in &a {
+            r.validate(topo.num_nodes(), 12).unwrap();
+        }
+    }
+
+    #[test]
+    fn uplinks_pair_with_downlinks() {
+        let topo = topologies::b4();
+        let reqs = generate(&topo, &HORIZON, 5, &spec());
+        for r in &reqs {
+            let mate = reqs.iter().any(|o| {
+                o.src == r.dst
+                    && o.dst == r.src
+                    && o.start == r.start
+                    && o.end == r.end
+                    && o.rate.to_bits() == r.rate.to_bits()
+            });
+            assert!(mate, "{}: no reverse hose for {}→{}", r.id, r.src, r.dst);
+        }
+    }
+
+    #[test]
+    fn every_request_touches_its_clusters_hub() {
+        // Group requests by time window: within each group, star shape
+        // means some node appears as an endpoint of every request.
+        let topo = topologies::b4();
+        let reqs = generate(&topo, &HORIZON, 7, &spec());
+        let mut windows: Vec<(usize, usize)> = reqs.iter().map(|r| (r.start, r.end)).collect();
+        windows.sort_unstable();
+        windows.dedup();
+        assert!(windows.len() >= 2, "clusters should spread over windows");
+        for (start, end) in windows {
+            let group: Vec<_> = reqs
+                .iter()
+                .filter(|r| r.start == start && r.end == end)
+                .collect();
+            let is_hub = |h: NodeId| group.iter().all(|r| r.src == h || r.dst == h);
+            // Windows can collide across clusters, so only demand a hub
+            // where the group is one cluster's worth of requests.
+            if group.len() <= 8 {
+                assert!(
+                    group.iter().any(|r| is_hub(r.src) || is_hub(r.dst)),
+                    "window {start}..={end}: no common hub in {} requests",
+                    group.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_nodes_are_distinct() {
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        for _ in 0..50 {
+            let mut picked = distinct_nodes(&mut rng, 12, 5);
+            picked.sort_unstable();
+            picked.dedup();
+            assert_eq!(picked.len(), 5);
+        }
+    }
+}

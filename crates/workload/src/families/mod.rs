@@ -1,0 +1,13 @@
+//! The scenario zoo's generator families beyond the paper's §V-A model.
+//!
+//! Every family draws from one `ChaCha12` stream seeded with the
+//! scenario seed, in a fixed order, so the same scenario file always
+//! produces the same request stream on any host and thread count. All
+//! families emit requests sorted by start slot with sequential ids, and
+//! every emitted request passes [`crate::Request::validate`].
+
+pub(crate) mod auction;
+pub(crate) mod common;
+pub(crate) mod diurnal;
+pub(crate) mod geo;
+pub(crate) mod hose;

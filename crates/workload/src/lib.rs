@@ -5,6 +5,13 @@
 //! 12-slot cycle, uniform 0.1–5 Gbps rates, route-priced bids) and is
 //! fully deterministic per seed.
 //!
+//! Beyond the paper's setup, the [`scenario`] module defines versioned
+//! scenario files (`scenarios/*.json`) with a strict validating loader
+//! and four further generator families — population-weighted
+//! [geo-locality](GeoLocalitySpec), [diurnal/bursty](DiurnalSpec)
+//! arrivals over multi-cycle horizons, strategic-bid
+//! [auctions](AuctionSpec), and hose-model [virtual clusters](HoseSpec).
+//!
 //! # Examples
 //!
 //! ```
@@ -20,8 +27,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod families;
 mod generator;
+pub mod json;
 mod request;
+pub mod scenario;
 
 pub use generator::{generate, ValueModel, WorkloadConfig, DEFAULT_SLOTS};
 pub use request::{Request, RequestId};
+pub use scenario::{
+    AuctionSpec, BurstSpec, DiurnalSpec, FamilySpec, GeoLocalitySpec, Horizon, HoseSpec, Scenario,
+    ScenarioError, TopologySpec, UniformSpec, SCENARIO_VERSION,
+};

@@ -1,0 +1,148 @@
+//! Negative fixtures for the scenario loader: every class of malformed
+//! scenario file must be rejected with a *precise, field-path* error —
+//! the path names exactly the offending field and the message says what
+//! is wrong with it, so scenario authors never have to bisect a file.
+
+use metis_workload::scenario::Scenario;
+
+fn load_fixture(name: &str) -> Result<Scenario, metis_workload::ScenarioError> {
+    let path = format!(
+        "{}/tests/fixtures/bad/{name}.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    Scenario::load(&path)
+}
+
+/// (fixture, expected error path, fragment the message must contain)
+const CASES: &[(&str, &str, &str)] = &[
+    ("not_object", "scenario", "must be an object"),
+    ("invalid_json", "scenario", "invalid JSON"),
+    (
+        "missing_version",
+        "scenario.version",
+        "missing required field",
+    ),
+    (
+        "bad_version",
+        "scenario.version",
+        "unsupported schema version 99",
+    ),
+    ("bad_name", "scenario.name", "must match [a-z0-9_-]+"),
+    ("unknown_field", "scenario.thteta", "unknown field"),
+    (
+        "unknown_topology",
+        "scenario.topology",
+        "unknown topology `b5`",
+    ),
+    (
+        "horizon_zero",
+        "scenario.horizon.slots_per_cycle",
+        "must be at least 1",
+    ),
+    (
+        "rate_inverted",
+        "scenario.workload.uniform.rate_gbps",
+        "low <= high",
+    ),
+    (
+        "rate_nonpositive",
+        "scenario.workload.uniform.rate_gbps",
+        "low bound must be positive",
+    ),
+    (
+        "locality_range",
+        "scenario.workload.geo_locality.locality",
+        "must be within [0, 1]",
+    ),
+    (
+        "populations_len",
+        "scenario.workload.geo_locality.populations",
+        "one weight per data center (12)",
+    ),
+    (
+        "epsilon_range",
+        "scenario.workload.auction.epsilon",
+        "strictly between 0 and 1",
+    ),
+    (
+        "peak_slot_range",
+        "scenario.workload.diurnal.peak_slot",
+        "must be below horizon.slots_per_cycle (12)",
+    ),
+    (
+        "burst_multiplier",
+        "scenario.workload.diurnal.burst.multiplier",
+        "must be at least 1",
+    ),
+    (
+        "unknown_family",
+        "scenario.workload",
+        "unknown workload family `zipf`",
+    ),
+    (
+        "unknown_value_model",
+        "scenario.workload.uniform.value_model",
+        "unknown value_model `lottery`",
+    ),
+    (
+        "hose_endpoints",
+        "scenario.workload.hose.endpoints",
+        "may not exceed the topology's 12 data centers",
+    ),
+    (
+        "missing_workload_field",
+        "scenario.workload.uniform.rate_gbps",
+        "missing required field",
+    ),
+    (
+        "random_too_small",
+        "scenario.topology.random.nodes",
+        "at least three nodes",
+    ),
+];
+
+#[test]
+fn every_bad_fixture_fails_with_its_exact_path() {
+    for (fixture, want_path, want_fragment) in CASES {
+        let err =
+            load_fixture(fixture).expect_err(&format!("{fixture}.json should have been rejected"));
+        assert_eq!(
+            &err.path, want_path,
+            "{fixture}.json: wrong error path (message was: {})",
+            err.message
+        );
+        assert!(
+            err.message.contains(want_fragment),
+            "{fixture}.json: message `{}` missing `{want_fragment}`",
+            err.message
+        );
+    }
+}
+
+#[test]
+fn every_bad_fixture_is_covered() {
+    // A fixture on disk with no table entry is a silent coverage gap.
+    let dir = format!("{}/tests/fixtures/bad", env!("CARGO_MANIFEST_DIR"));
+    let mut on_disk: Vec<String> = std::fs::read_dir(dir)
+        .expect("fixtures dir")
+        .map(|e| {
+            e.unwrap()
+                .path()
+                .file_stem()
+                .unwrap()
+                .to_string_lossy()
+                .into_owned()
+        })
+        .collect();
+    on_disk.sort();
+    let mut in_table: Vec<String> = CASES.iter().map(|(f, _, _)| f.to_string()).collect();
+    in_table.sort();
+    assert_eq!(on_disk, in_table);
+}
+
+#[test]
+fn missing_file_reports_the_path() {
+    let err = Scenario::load("/nonexistent/nope.json").unwrap_err();
+    assert_eq!(err.path, "scenario");
+    assert!(err.message.contains("cannot read"), "{err}");
+}

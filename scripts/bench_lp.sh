@@ -4,7 +4,20 @@
 # results (median solve and per-pivot times, refactorization and eta
 # counts, speedup) in BENCH_lp.json for CI trend tracking.
 #
-# Usage: scripts/bench_lp.sh [--quick] [--out PATH]
+# BENCH_lp.json is version-controlled: the checked-in numbers are the
+# trend baseline. To keep a rerun from silently clobbering results that
+# were never committed, the script refuses to overwrite a BENCH_lp.json
+# that differs from HEAD — commit (or discard) it first, or rerun with
+# FORCE=1.
+#
+# Usage: [FORCE=1] scripts/bench_lp.sh [--quick] [--out PATH]
 set -eu
 cd "$(dirname "$0")/.."
+
+if [ "${FORCE:-0}" != "1" ] && [ -n "$(git status --porcelain -- BENCH_lp.json 2>/dev/null)" ]; then
+    echo "bench_lp.sh: BENCH_lp.json has uncommitted changes." >&2
+    echo "Commit or discard them first, or rerun with FORCE=1 to overwrite." >&2
+    exit 1
+fi
+
 cargo run --release -p metis-bench --bin bench_lp -- "$@"

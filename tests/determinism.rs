@@ -11,10 +11,12 @@
 //! backend (CI runs the suite once per backend); unset, the solver
 //! default (sparse LU) applies.
 
+use std::path::Path;
+
 use metis_suite::core::{metis, MaaOptions, MetisConfig, ParallelConfig, SpmInstance};
 use metis_suite::lp::BasisBackend;
 use metis_suite::netsim::topologies;
-use metis_suite::workload::{generate, WorkloadConfig};
+use metis_suite::workload::{generate, Scenario, WorkloadConfig};
 
 fn b4_instance(k: usize, seed: u64) -> SpmInstance {
     let topo = topologies::b4();
@@ -88,6 +90,62 @@ fn metis_identical_across_repeated_runs() {
         assert_eq!(a.evaluation, b.evaluation);
         assert_eq!(a.history, b.history);
     }
+}
+
+#[test]
+fn scenario_files_reproduce_bit_identical_streams_and_profit() {
+    // The on-disk scenario contract: loading the same file twice yields
+    // equal `Scenario` values, the same seed yields a bit-identical
+    // request stream (compared through `f64::to_bits`, not `==`), and
+    // the solved profit is bit-identical across thread counts.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios/diurnal_b4.json");
+    let scenario = Scenario::load(&path).unwrap();
+    assert_eq!(scenario, Scenario::load(&path).unwrap());
+
+    let topo = scenario.build_topology();
+    let first = scenario.generate(&topo);
+    let second = scenario.generate(&topo);
+    assert_eq!(first.len(), second.len());
+    for (a, b) in first.iter().zip(&second) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(
+            (a.src, a.dst, a.start, a.end),
+            (b.src, b.dst, b.start, b.end)
+        );
+        assert_eq!(a.rate.to_bits(), b.rate.to_bits(), "{}: rate drifted", a.id);
+        assert_eq!(
+            a.value.to_bits(),
+            b.value.to_bits(),
+            "{}: value drifted",
+            a.id
+        );
+    }
+
+    let inst = SpmInstance::new(topo, first, scenario.num_slots(), scenario.paths);
+    let reference = metis(&inst, &config(1, false)).unwrap();
+    for threads in [2, 8] {
+        let run = metis(&inst, &config(threads, false)).unwrap();
+        assert_eq!(
+            run.evaluation.profit.to_bits(),
+            reference.evaluation.profit.to_bits(),
+            "threads = {threads}"
+        );
+        assert_eq!(run.schedule, reference.schedule, "threads = {threads}");
+    }
+}
+
+#[test]
+fn scenario_seed_is_load_bearing() {
+    // Changing only the seed must change the stream — guards against a
+    // generator that silently ignores the file's seed.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios/diurnal_b4.json");
+    let scenario = Scenario::load(&path).unwrap();
+    let reseeded = Scenario {
+        seed: scenario.seed + 1,
+        ..scenario.clone()
+    };
+    let topo = scenario.build_topology();
+    assert_ne!(scenario.generate(&topo), reseeded.generate(&topo));
 }
 
 #[test]

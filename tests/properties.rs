@@ -9,8 +9,14 @@ use metis_suite::core::{
     maa, metis, online_metis, taa, LimiterRule, MaaOptions, MetisConfig, OnlineOptions,
     SpmInstance, TaaOptions,
 };
-use metis_suite::netsim::{ceil_units, EdgeId, LoadMatrix, Region, Topology, CEIL_EPS};
-use metis_suite::workload::{generate, Request, RequestId, ValueModel, WorkloadConfig};
+use metis_suite::netsim::{
+    ceil_units, units_to_gbps, EdgeId, LoadMatrix, Region, Topology, CEIL_EPS,
+};
+use metis_suite::workload::{
+    generate, AuctionSpec, BurstSpec, DiurnalSpec, FamilySpec, GeoLocalitySpec, Horizon, HoseSpec,
+    Request, RequestId, Scenario, TopologySpec, UniformSpec, ValueModel, WorkloadConfig,
+    SCENARIO_VERSION,
+};
 
 /// A random strongly-connected topology: a ring over `n` nodes plus
 /// `extra` random chords, with prices drawn from the region table.
@@ -347,6 +353,194 @@ fn degenerate_single_request_single_path() {
 
 fn topologies_sub_b4() -> Topology {
     metis_suite::netsim::topologies::sub_b4()
+}
+
+// ---------------------------------------------------------------------
+// Scenario-generator invariants
+// ---------------------------------------------------------------------
+
+/// A valid rate range in Gbps: `lo < hi`, both positive and finite.
+fn arb_rate_range() -> impl Strategy<Value = (f64, f64)> {
+    (0.05f64..2.0, 0.1f64..8.0).prop_map(|(lo, width)| (lo, lo + width))
+}
+
+fn arb_scenario_topology() -> impl Strategy<Value = TopologySpec> {
+    prop_oneof![
+        Just(TopologySpec::B4),
+        Just(TopologySpec::SubB4),
+        Just(TopologySpec::Abilene),
+        Just(TopologySpec::Geant),
+        (3u32..10, 0usize..8, any::<u64>()).prop_map(|(nodes, extra_links, seed)| {
+            TopologySpec::Random {
+                nodes,
+                extra_links,
+                seed,
+            }
+        }),
+    ]
+}
+
+/// Any valid scenario across all five generator families, with family
+/// parameters swept over their full documented domains (locality and
+/// strategic fraction over all of `[0, 1]`, multi-cycle horizons, bursts
+/// on and off, explicit and degree-derived populations).
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (arb_scenario_topology(), 2usize..16, 1usize..4, any::<u64>()).prop_flat_map(
+        |(topology, slots_per_cycle, cycles, seed)| {
+            let nodes = topology.build().num_nodes();
+            let horizon = Horizon {
+                slots_per_cycle,
+                cycles,
+            };
+            let num_slots = horizon.num_slots();
+            let uniform = (1usize..40, arb_rate_range()).prop_map(|(num_requests, rate_gbps)| {
+                FamilySpec::Uniform(UniformSpec {
+                    num_requests,
+                    rate_gbps,
+                    value_model: ValueModel::default(),
+                })
+            });
+            let geo = (
+                1usize..40,
+                arb_rate_range(),
+                0.0f64..=1.0,
+                proptest::option::of(proptest::collection::vec(0.1f64..10.0, nodes)),
+            )
+                .prop_map(|(num_requests, rate_gbps, locality, populations)| {
+                    FamilySpec::GeoLocality(GeoLocalitySpec {
+                        num_requests,
+                        rate_gbps,
+                        value_model: ValueModel::default(),
+                        locality,
+                        populations,
+                    })
+                });
+            let diurnal = (
+                1usize..40,
+                arb_rate_range(),
+                1.0f64..8.0,
+                0..slots_per_cycle,
+                proptest::option::of(
+                    (0.0f64..=1.0, 1.0f64..6.0)
+                        .prop_map(|(prob, multiplier)| BurstSpec { prob, multiplier }),
+                ),
+                proptest::option::of(1..=num_slots),
+            )
+                .prop_map(
+                    move |(num_requests, rate_gbps, peak_to_trough, peak_slot, burst, max_dur)| {
+                        FamilySpec::Diurnal(DiurnalSpec {
+                            num_requests,
+                            rate_gbps,
+                            value_model: ValueModel::default(),
+                            peak_to_trough,
+                            peak_slot,
+                            burst,
+                            max_duration_slots: max_dur,
+                        })
+                    },
+                );
+            let auction = (
+                1usize..40,
+                arb_rate_range(),
+                (0.2f64..2.0, 0.1f64..6.0),
+                0.01f64..0.99,
+                0.0f64..=1.0,
+            )
+                .prop_map(
+                    |(num_requests, rate_gbps, (mlo, mw), epsilon, strategic_fraction)| {
+                        FamilySpec::Auction(AuctionSpec {
+                            num_requests,
+                            rate_gbps,
+                            markup: (mlo, mlo + mw),
+                            epsilon,
+                            strategic_fraction,
+                        })
+                    },
+                );
+            let hose = (
+                1usize..8,
+                2usize..=nodes.min(6),
+                arb_rate_range(),
+                0.1f64..5.0,
+                (0.2f64..2.0, 0.1f64..4.0),
+                proptest::option::of(1..=num_slots),
+            )
+                .prop_map(
+                    move |(clusters, max_ep, hose_gbps, per_unit_slot, (mlo, mw), max_dur)| {
+                        FamilySpec::Hose(HoseSpec {
+                            clusters,
+                            endpoints: (2, max_ep),
+                            hose_gbps,
+                            per_unit_slot,
+                            markup: (mlo, mlo + mw),
+                            max_duration_slots: max_dur,
+                        })
+                    },
+                );
+            let family = prop_oneof![uniform, geo, diurnal, auction, hose];
+            family.prop_map(move |workload| Scenario {
+                version: SCENARIO_VERSION,
+                name: "prop".into(),
+                description: None,
+                topology: topology.clone(),
+                horizon,
+                seed,
+                theta: 3,
+                paths: 3,
+                workload,
+            })
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The universal generator contract, over every family and the full
+    /// parameter domain: no self-loops, finite positive rates and
+    /// finite non-negative values, every reservation inside the horizon,
+    /// rates inside the family's declared Gbps envelope, the stream
+    /// sorted by start slot with sequential ids — and bit-identical on
+    /// regeneration.
+    #[test]
+    fn scenario_generators_uphold_the_request_contract(scenario in arb_scenario()) {
+        let topo = scenario.build_topology();
+        let requests = scenario.generate(&topo);
+        let (lo, hi) = scenario.workload.rate_range_gbps();
+        let num_slots = scenario.num_slots();
+        for (i, r) in requests.iter().enumerate() {
+            // validate() covers src != dst, endpoint range, start <= end,
+            // end < num_slots, NaN/±∞ and sign constraints on rate/value.
+            prop_assert!(r.validate(topo.num_nodes(), num_slots).is_ok(),
+                "{}: {:?}", r.validate(topo.num_nodes(), num_slots).unwrap_err(), r);
+            prop_assert_eq!(r.id, RequestId(i as u32));
+            let gbps = units_to_gbps(r.rate);
+            prop_assert!(gbps >= lo - 1e-9 && gbps <= hi + 1e-9,
+                "rate {} Gbps outside [{}, {}]", gbps, lo, hi);
+        }
+        prop_assert!(requests.windows(2).all(|w| w[0].start <= w[1].start));
+        prop_assert_eq!(&requests, &scenario.generate(&topo));
+    }
+
+    /// Request counts follow the spec: point-to-point families emit
+    /// exactly `num_requests`; hose clusters emit an uplink and a
+    /// downlink per non-hub member.
+    #[test]
+    fn scenario_request_counts_match_the_spec(scenario in arb_scenario()) {
+        let topo = scenario.build_topology();
+        let n = scenario.generate(&topo).len();
+        match &scenario.workload {
+            FamilySpec::Uniform(s) => prop_assert_eq!(n, s.num_requests),
+            FamilySpec::GeoLocality(s) => prop_assert_eq!(n, s.num_requests),
+            FamilySpec::Diurnal(s) => prop_assert_eq!(n, s.num_requests),
+            FamilySpec::Auction(s) => prop_assert_eq!(n, s.num_requests),
+            FamilySpec::Hose(s) => {
+                let (min_ep, max_ep) = s.endpoints;
+                prop_assert!(n >= s.clusters * 2 * (min_ep - 1));
+                prop_assert!(n <= s.clusters * 2 * (max_ep - 1));
+            }
+        }
+    }
 }
 
 /// Hand-built adversarial case: a request whose two candidate paths share

@@ -1,0 +1,58 @@
+//! Strategies over `Option<T>`, mirroring `proptest::option`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// Strategy yielding `None` half the time and `Some(inner)` otherwise.
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.gen::<bool>() {
+            Some(self.inner.new_value(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// Wraps a strategy to also produce `None` (with probability one half).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn respects_the_inner_domain(v in crate::option::of(1usize..5)) {
+            if let Some(x) = v {
+                prop_assert!((1..5).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn produces_both_variants() {
+        // Across enough draws both `None` and `Some` must appear.
+        let cfg = ProptestConfig::with_cases(64);
+        let mut seen = (false, false);
+        crate::test_runner::run(&cfg, "produces_both_variants", |rng| {
+            match crate::option::of(0u8..10).new_value(rng) {
+                Some(_) => seen.0 = true,
+                None => seen.1 = true,
+            }
+            Ok(())
+        });
+        assert!(seen.0 && seen.1, "one variant never appeared: {seen:?}");
+    }
+}

@@ -24,6 +24,18 @@ pub trait Strategy {
         Map { inner: self, f }
     }
 
+    /// Derives a second strategy from each produced value and draws from
+    /// it — the dependent-generation combinator (e.g. first a topology,
+    /// then parameters whose ranges depend on its node count).
+    fn prop_flat_map<O, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        O: Strategy,
+        F: Fn(Self::Value) -> O,
+    {
+        FlatMap { inner: self, f }
+    }
+
     /// Erases the concrete strategy type.
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
@@ -70,6 +82,25 @@ where
 
     fn new_value(&self, rng: &mut TestRng) -> O {
         (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    O: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> O::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
     }
 }
 
