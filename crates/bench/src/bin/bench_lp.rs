@@ -1,18 +1,46 @@
-//! Dense-vs-sparse LP backend A/B benchmark.
+//! LP engine A/B benchmark: backends × pricing × ratio test.
 //!
-//! Solves deterministic transportation-style LPs of growing size with
-//! both [`BasisBackend`]s, certificate-verifying every solve, and
-//! reports per-backend wall clock, per-pivot time, and factorization
-//! counters. Results go to stdout as an aligned table and to
-//! `BENCH_lp.json` (override with `--out PATH`) as canonical JSON for
-//! CI trend tracking.
+//! Solves deterministic LPs of growing size under three engine
+//! configurations, certificate-verifying every solve:
 //!
-//! Usage: `bench_lp [--quick] [--out PATH]`
+//! * `dense`        — dense inverse backend, full Dantzig pricing
+//!   (the reference; only run for m ≤ 1000, where it is tractable);
+//! * `sparse_lu`    — sparse LU backend, full Dantzig pricing,
+//!   product-form updates (isolates the factorization win);
+//! * `sparse_devex` — sparse LU + devex pricing + Harris ratio test +
+//!   Forrest–Tomlin updates (the full engine).
+//!
+//! Row counts are `m ∈ {100, 300, 1000, 5000, 20000}` (`--quick`:
+//! `{100, 300}`): transportation-style LPs up to m = 300, a seeded
+//! sparse packing family above. Results go to stdout as an aligned
+//! table and to `BENCH_lp.json` (override with `--out PATH`) as
+//! canonical JSON for CI trend tracking; the emitted document records
+//! the size list actually run.
+//!
+//! `--trend-check BASELINE.json` additionally compares this run's
+//! hardware-independent per-pivot ratios (config vs same-run dense) at
+//! overlapping sizes against a committed baseline and exits nonzero on
+//! a >30% regression.
+//!
+//! Usage: `bench_lp [--quick] [--out PATH] [--trend-check BASELINE]
+//! [--sizes M1,M2,...]` (the last overrides the ladder, for probing
+//! a single size)
 
 use std::time::Instant;
 
 use metis_bench::json::{obj, Json};
-use metis_lp::{BasisBackend, Problem, Relation, Sense, SolveOptions};
+use metis_lp::{
+    BasisBackend, FactorUpdate, Pricing, Problem, RatioTest, Relation, Sense, SolveOptions,
+};
+
+/// Full and `--quick` row-count ladders. The committed `BENCH_lp.json`
+/// is produced by the full ladder; CI's quick leg runs the prefix.
+const SIZES_FULL: &[usize] = &[100, 300, 1000, 5000, 20000];
+const SIZES_QUICK: &[usize] = &[100, 300];
+
+/// Largest row count at which the dense reference configuration runs
+/// (O(m²) per pivot makes it hopeless beyond this).
+const DENSE_MAX_M: usize = 1000;
 
 /// A dense-ish transportation-style LP with `n` supplies and `n`
 /// demands (`m = 2n` rows), mirroring `benches/simplex.rs`.
@@ -42,6 +70,94 @@ fn transportation_lp(n: usize) -> Problem {
     p
 }
 
+/// A genuinely sparse packing LP with `m` rows and `2m` variables,
+/// 4–7 nonzeros per row. Even-indexed variables carry negative costs
+/// and unbounded uppers; each anchors exactly one `≤` row (positive
+/// coefficients, finite rhs), so the LP is feasible at the origin (the
+/// slack basis starts phase 2 directly — no artificials at any size)
+/// and bounded (every profitable column is capped by its anchor row).
+/// Deterministic via a seeded LCG, same generator family as the
+/// proptest suite.
+fn sparse_packing_lp(m: usize, seed: u64) -> Problem {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as usize
+    };
+    let n = 2 * m;
+    let mut p = Problem::new(Sense::Minimize);
+    let vars: Vec<_> = (0..n)
+        .map(|j| {
+            if j % 2 == 0 {
+                // Profitable, capped only through the rows.
+                p.add_var(-(1.0 + (j / 2 % 5) as f64 * 0.5), 0.0, f64::INFINITY)
+            } else {
+                p.add_var(1.0 + (j % 23) as f64 * 0.25, 0.0, 50.0)
+            }
+        })
+        .collect();
+    for i in 0..m {
+        let k = 3 + next() % 4; // 3..=6 extra nonzeros
+        let mut terms: Vec<(metis_lp::VarId, f64)> = Vec::with_capacity(k + 1);
+        // Anchor row i on profitable variable 2i: every row is nonempty
+        // and every unbounded column is capped by at least one row.
+        terms.push((vars[(2 * i) % n], 1.0 + (i % 5) as f64 * 0.5));
+        for _ in 0..k {
+            let j = next() % n;
+            if terms.iter().all(|&(v, _)| v != vars[j]) {
+                terms.push((vars[j], 0.5 + (next() % 8) as f64 * 0.5));
+            }
+        }
+        p.add_constraint(terms, Relation::Le, 20.0 + (i % 11) as f64);
+    }
+    p
+}
+
+/// One engine configuration under test.
+struct Config {
+    key: &'static str,
+    opts: SolveOptions,
+}
+
+fn configs() -> Vec<Config> {
+    let base = SolveOptions {
+        // Independent certification: recomputed residuals, bounds, and
+        // objective must match or the solve errors out.
+        verify: true,
+        ..SolveOptions::default()
+    };
+    vec![
+        Config {
+            key: "dense",
+            opts: SolveOptions {
+                basis: BasisBackend::Dense,
+                pricing: Pricing::Full,
+                ..base
+            },
+        },
+        Config {
+            key: "sparse_lu",
+            opts: SolveOptions {
+                basis: BasisBackend::SparseLu,
+                pricing: Pricing::Full,
+                ..base
+            },
+        },
+        Config {
+            key: "sparse_devex",
+            opts: SolveOptions {
+                basis: BasisBackend::SparseLu,
+                pricing: Pricing::Devex,
+                ratio: RatioTest::Harris,
+                factor_update: FactorUpdate::ForrestTomlin,
+                ..base
+            },
+        },
+    ]
+}
+
 struct Measured {
     median_solve_ns: u128,
     median_pivot_ns: u128,
@@ -49,25 +165,21 @@ struct Measured {
     iterations: usize,
     refactorizations: usize,
     eta_updates: usize,
+    ft_spikes: usize,
+    devex_resets: usize,
+    harris_expansions: usize,
     lu_l_nnz: usize,
     lu_u_nnz: usize,
     pricing_block_scans: usize,
 }
 
-fn measure(p: &Problem, backend: BasisBackend, trials: usize) -> Measured {
-    let opts = SolveOptions {
-        basis: backend,
-        // Independent certification: recomputed residuals, bounds, and
-        // objective must match or the solve errors out.
-        verify: true,
-        ..SolveOptions::default()
-    };
+fn measure(p: &Problem, opts: &SolveOptions, trials: usize) -> Measured {
     let mut times: Vec<u128> = Vec::with_capacity(trials);
     let mut last = None;
     for _ in 0..trials {
         // metis-lint: allow(DET-02): wall-clock benchmark harness; timings are the output
         let t = Instant::now();
-        let s = p.solve_with(&opts).expect("benchmark LP must be feasible");
+        let s = p.solve_with(opts).expect("benchmark LP must be feasible");
         times.push(t.elapsed().as_nanos());
         last = Some(s);
     }
@@ -82,13 +194,16 @@ fn measure(p: &Problem, backend: BasisBackend, trials: usize) -> Measured {
         iterations: st.iterations,
         refactorizations: st.refreshes,
         eta_updates: st.eta_updates,
+        ft_spikes: st.ft_spikes,
+        devex_resets: st.devex_resets,
+        harris_expansions: st.harris_expansions,
         lu_l_nnz: st.lu_l_nnz,
         lu_u_nnz: st.lu_u_nnz,
         pricing_block_scans: st.pricing_block_scans,
     }
 }
 
-fn backend_json(m: &Measured) -> Json {
+fn config_json(m: &Measured) -> Json {
     obj([
         ("median_solve_ns", Json::Num(m.median_solve_ns as f64)),
         ("median_pivot_ns", Json::Num(m.median_pivot_ns as f64)),
@@ -96,6 +211,9 @@ fn backend_json(m: &Measured) -> Json {
         ("iterations", Json::Num(m.iterations as f64)),
         ("refactorizations", Json::Num(m.refactorizations as f64)),
         ("eta_updates", Json::Num(m.eta_updates as f64)),
+        ("ft_spikes", Json::Num(m.ft_spikes as f64)),
+        ("devex_resets", Json::Num(m.devex_resets as f64)),
+        ("harris_expansions", Json::Num(m.harris_expansions as f64)),
         ("lu_l_nnz", Json::Num(m.lu_l_nnz as f64)),
         ("lu_u_nnz", Json::Num(m.lu_u_nnz as f64)),
         (
@@ -105,59 +223,172 @@ fn backend_json(m: &Measured) -> Json {
     ])
 }
 
+/// Per-pivot ratio of `config` to same-document `dense` at every size
+/// where both were measured: `(m, ratio)`. Ratios compare work per
+/// pivot within one run, so they are hardware-independent and safe to
+/// trend across machines.
+fn pivot_ratios(doc: &Json, config: &str) -> Vec<(usize, f64)> {
+    let mut out = Vec::new();
+    let Some(entries) = doc.get("entries").and_then(Json::as_arr) else {
+        return out;
+    };
+    for e in entries {
+        let (Some(m), Some(cfgs)) = (e.get("m").and_then(Json::as_usize), e.get("configs")) else {
+            continue;
+        };
+        let pivot = |key: &str| {
+            cfgs.get(key)
+                .and_then(|c| c.get("median_pivot_ns"))
+                .and_then(Json::as_f64)
+        };
+        if let (Some(dense), Some(other)) = (pivot("dense"), pivot(config)) {
+            if dense > 0.0 {
+                out.push((m, other / dense));
+            }
+        }
+    }
+    out
+}
+
+/// Fails (exit 1) when any per-pivot ratio worsened by more than 30%
+/// against the committed baseline at an overlapping size.
+fn trend_check(current: &Json, baseline_path: &str) -> bool {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trend-check: cannot read {baseline_path}: {e}");
+            return false;
+        }
+    };
+    let baseline = match Json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("trend-check: cannot parse {baseline_path}: {e}");
+            return false;
+        }
+    };
+    let mut ok = true;
+    let mut compared = 0usize;
+    for config in ["sparse_lu", "sparse_devex"] {
+        let base = pivot_ratios(&baseline, config);
+        for (m, cur) in pivot_ratios(current, config) {
+            let Some(&(_, bas)) = base.iter().find(|&&(bm, _)| bm == m) else {
+                continue;
+            };
+            compared += 1;
+            if cur > bas * 1.30 {
+                eprintln!(
+                    "trend-check: {config} per-pivot ratio regressed at m={m}: \
+                     {cur:.3} vs baseline {bas:.3} (>30%)"
+                );
+                ok = false;
+            } else {
+                println!("trend-check: {config} m={m} ratio {cur:.3} (baseline {bas:.3}) ok");
+            }
+        }
+    }
+    if compared == 0 {
+        eprintln!("trend-check: no overlapping (size, config) pairs with {baseline_path}");
+        return false;
+    }
+    ok
+}
+
 fn main() {
     let quick = metis_bench::quick_mode();
     let args: Vec<String> = std::env::args().collect();
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
-        .unwrap_or("BENCH_lp.json")
-        .to_string();
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(String::to_owned)
+    };
+    let out_path = flag_value("--out").unwrap_or_else(|| "BENCH_lp.json".to_string());
+    let trend_baseline = flag_value("--trend-check");
 
-    let sizes: &[usize] = if quick { &[50, 150] } else { &[50, 150, 250] };
-    let trials = if quick { 3 } else { 5 };
+    let size_override: Option<Vec<usize>> = flag_value("--sizes").map(|s| {
+        s.split(',')
+            .map(|t| t.trim().parse().expect("--sizes takes M1,M2,..."))
+            .collect()
+    });
+    let sizes: &[usize] = match &size_override {
+        Some(v) => v,
+        None if quick => SIZES_QUICK,
+        None => SIZES_FULL,
+    };
 
     println!(
-        "{:>6} {:>14} {:>14} {:>9} {:>8} {:>8} {:>9}",
-        "m", "dense/solve", "sparse/solve", "speedup", "pivots", "refacts", "etas"
+        "{:>7} {:>8} {:>13} {:>14} {:>14} {:>8} {:>8} {:>8}",
+        "m", "family", "config", "solve", "per-pivot", "pivots", "refacts", "updates"
     );
     let mut entries: Vec<Json> = Vec::new();
-    for &n in sizes {
-        let p = transportation_lp(n);
-        let m = 2 * n;
-        let dense = measure(&p, BasisBackend::Dense, trials);
-        let sparse = measure(&p, BasisBackend::SparseLu, trials);
-        assert!(
-            (dense.objective - sparse.objective).abs() <= 1e-6 * (1.0 + dense.objective.abs()),
-            "backend objectives diverged at m={m}: dense {} vs sparse {}",
-            dense.objective,
-            sparse.objective
-        );
-        let speedup = dense.median_solve_ns as f64 / sparse.median_solve_ns.max(1) as f64;
-        println!(
-            "{:>6} {:>12.3}ms {:>12.3}ms {:>8.2}x {:>8} {:>8} {:>9}",
-            m,
-            dense.median_solve_ns as f64 / 1e6,
-            sparse.median_solve_ns as f64 / 1e6,
-            speedup,
-            sparse.iterations,
-            sparse.refactorizations,
-            sparse.eta_updates,
-        );
+    for &m in sizes {
+        let (family, p) = if m <= 300 {
+            ("transportation", transportation_lp(m / 2))
+        } else {
+            ("sparse_packing", sparse_packing_lp(m, 0x5eed))
+        };
+        // One trial suffices at the sizes where a solve takes seconds.
+        let trials = match m {
+            _ if m >= 5000 => 1,
+            _ if m >= 1000 => 2,
+            _ if quick => 3,
+            _ => 5,
+        };
+        let mut cfg_fields: Vec<(&'static str, Json)> = Vec::new();
+        let mut dense_ref: Option<Measured> = None;
+        let mut reference_obj: Option<f64> = None;
+        for c in configs() {
+            if c.key == "dense" && m > DENSE_MAX_M {
+                continue;
+            }
+            let r = measure(&p, &c.opts, trials);
+            if let Some(obj0) = reference_obj {
+                assert!(
+                    (r.objective - obj0).abs() <= 1e-6 * (1.0 + obj0.abs()),
+                    "objectives diverged at m={m}: {} vs {} ({})",
+                    r.objective,
+                    obj0,
+                    c.key
+                );
+            } else {
+                reference_obj = Some(r.objective);
+            }
+            println!(
+                "{:>7} {:>8} {:>13} {:>12.3}ms {:>12}ns {:>8} {:>8} {:>8}",
+                m,
+                &family[..family.len().min(8)],
+                c.key,
+                r.median_solve_ns as f64 / 1e6,
+                r.median_pivot_ns,
+                r.iterations,
+                r.refactorizations,
+                r.eta_updates + r.ft_spikes,
+            );
+            cfg_fields.push((c.key, config_json(&r)));
+            if c.key == "dense" {
+                dense_ref = Some(r);
+            } else if let Some(d) = &dense_ref {
+                let ratio = d.median_pivot_ns as f64 / r.median_pivot_ns.max(1) as f64;
+                println!("{:>54}", format!("(per-pivot {ratio:.2}x vs dense)"));
+            }
+        }
         entries.push(obj([
             ("m", Json::Num(m as f64)),
-            ("n_vars", Json::Num((n * n) as f64)),
-            ("dense", backend_json(&dense)),
-            ("sparse_lu", backend_json(&sparse)),
-            ("speedup", Json::Num(speedup)),
+            ("n_vars", Json::Num(p.num_vars() as f64)),
+            ("family", Json::Str(family.to_string())),
+            ("trials", Json::Num(trials as f64)),
+            ("configs", obj(cfg_fields)),
         ]));
     }
 
     let doc = obj([
-        ("benchmark", Json::Str("lp_backend_ab".to_string())),
-        ("trials", Json::Num(trials as f64)),
+        ("benchmark", Json::Str("lp_engine_ab".to_string())),
+        ("quick", Json::Bool(quick)),
+        (
+            "sizes",
+            Json::Arr(sizes.iter().map(|&s| Json::Num(s as f64)).collect()),
+        ),
         ("entries", Json::Arr(entries)),
     ]);
     let text = doc.to_pretty();
@@ -166,4 +397,11 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {out_path}");
+
+    if let Some(baseline) = trend_baseline {
+        if !trend_check(&doc, &baseline) {
+            std::process::exit(1);
+        }
+        println!("trend-check passed against {baseline}");
+    }
 }

@@ -47,7 +47,9 @@ pub mod verify;
 pub use error::SolveError;
 pub use ilp::{solve_ilp, solve_ilp_with_start, IlpOptions, IlpSolution, IlpStatus};
 pub use model::{Problem, Relation, RowId, Sense, VarId};
-pub use presolve::{presolve, presolve_and_solve, PresolveReport, Restoration};
-pub use simplex::{Basis, BasisBackend, Pricing, SolveOptions};
+pub use presolve::{
+    equilibrate, presolve, presolve_and_solve, PresolveReport, Restoration, Scaling,
+};
+pub use simplex::{Basis, BasisBackend, FactorUpdate, Pricing, RatioTest, SolveOptions};
 pub use solution::{Solution, SolveStats};
 pub use verify::{certify, Certificate};

@@ -162,6 +162,18 @@ impl SparseTriangular {
         self.idx.len()
     }
 
+    /// Iterates group `k`'s `(position, value)` entries in stored order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k ≥ dim()`.
+    pub fn group(&self, k: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        self.idx[self.ptr[k]..self.ptr[k + 1]]
+            .iter()
+            .zip(&self.val[self.ptr[k]..self.ptr[k + 1]])
+            .map(|(&p, &v)| (p, v))
+    }
+
     /// Number of elimination steps (the factor is `m × m`).
     pub fn dim(&self) -> usize {
         self.ptr.len() - 1

@@ -33,13 +33,27 @@ pub struct SolveStats {
     /// Nonzeros in the `U` factor (diagonal included) of the last sparse
     /// refactorization (0 on the dense backend).
     pub lu_u_nnz: usize,
-    /// Pricing block scans: full sweeps count one each; under partial
-    /// pricing each candidate block examined counts one.
+    /// Candidate blocks examined by partial pricing. Strictly a
+    /// partial-pricing counter: full sweeps — Dantzig, devex, or
+    /// Bland — contribute zero, so this reads 0 whenever partial
+    /// pricing is inactive.
     pub pricing_block_scans: usize,
+    /// Devex reference-framework resets (weights grew past the guard
+    /// and restarted at 1; 0 unless devex pricing ran).
+    pub devex_resets: usize,
+    /// Forrest–Tomlin column updates applied in place to the `U` factor
+    /// (0 unless [`crate::FactorUpdate::ForrestTomlin`] is selected).
+    pub ft_spikes: usize,
+    /// Harris ratio tests whose chosen exact ratio was negative and
+    /// clamped to a zero-length step (0 under the textbook rule).
+    pub harris_expansions: usize,
     /// Rows removed by presolve (0 unless the presolve path ran).
     pub presolve_removed_rows: usize,
     /// Variables removed by presolve (0 unless the presolve path ran).
     pub presolve_removed_vars: usize,
+    /// Equilibration passes performed before the solve (0 unless
+    /// [`crate::SolveOptions::scale`] is set).
+    pub scaling_passes: usize,
 }
 
 /// An optimal (or, for MILP with limits, best-found) solution.

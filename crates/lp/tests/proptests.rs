@@ -285,6 +285,87 @@ fn backends_agree_on_200_seeded_sparse_lps() {
     }
 }
 
+/// Engine-knob A/B guarantee: on 200 seeded random sparse LPs, every
+/// pricing rule (full Dantzig, partial, devex) and both ratio tests
+/// (textbook, Harris) — plus the Forrest–Tomlin update strategy —
+/// reach the same certified optimum as the baseline configuration.
+/// Pivot *sequences* legitimately differ; objectives may not.
+#[test]
+fn pricing_and_ratio_rules_agree_on_200_seeded_sparse_lps() {
+    use metis_lp::{FactorUpdate, Pricing, RatioTest};
+    let baseline = SolveOptions::default();
+    let variants = [
+        (
+            "full",
+            SolveOptions {
+                pricing: Pricing::Full,
+                ..baseline
+            },
+        ),
+        (
+            "partial",
+            SolveOptions {
+                pricing: Pricing::Partial(4),
+                ..baseline
+            },
+        ),
+        (
+            "devex",
+            SolveOptions {
+                pricing: Pricing::Devex,
+                ..baseline
+            },
+        ),
+        (
+            "harris",
+            SolveOptions {
+                ratio: RatioTest::Harris,
+                ..baseline
+            },
+        ),
+        (
+            "devex+harris+ft",
+            SolveOptions {
+                pricing: Pricing::Devex,
+                ratio: RatioTest::Harris,
+                factor_update: FactorUpdate::ForrestTomlin,
+                ..baseline
+            },
+        ),
+    ];
+    for seed in 0..200u64 {
+        let (p, _) = seeded_sparse_lp(seed);
+        let reference = p
+            .solve_with(&baseline)
+            .unwrap_or_else(|e| panic!("seed {seed}: baseline solve failed: {e:?}"));
+        for (name, opts) in &variants {
+            let s = p
+                .solve_with(opts)
+                .unwrap_or_else(|e| panic!("seed {seed}: {name} solve failed: {e:?}"));
+            assert!(
+                (s.objective() - reference.objective()).abs()
+                    <= 1e-6 * (1.0 + reference.objective().abs()),
+                "seed {seed}: {name} objective {} vs baseline {}",
+                s.objective(),
+                reference.objective()
+            );
+            assert!(
+                certify(&p, &s, 1e-6).accepted(),
+                "seed {seed}: {name} solution rejected by certification"
+            );
+            // The block-scan counter is strictly a partial-pricing
+            // counter: every non-partial configuration must report 0.
+            if *name != "partial" {
+                assert_eq!(
+                    s.stats().pricing_block_scans,
+                    0,
+                    "seed {seed}: {name} counted pricing block scans"
+                );
+            }
+        }
+    }
+}
+
 /// Warm starts must work identically on both backends: a basis
 /// snapshotted by one backend reoptimizes correctly under the other.
 #[test]
