@@ -163,6 +163,10 @@ struct Measured {
     median_pivot_ns: u128,
     objective: f64,
     iterations: usize,
+    phase1_iterations: usize,
+    dual_iterations: usize,
+    bound_flips: usize,
+    scaling_passes: usize,
     refactorizations: usize,
     eta_updates: usize,
     ft_spikes: usize,
@@ -192,6 +196,10 @@ fn measure(p: &Problem, opts: &SolveOptions, trials: usize) -> Measured {
         median_pivot_ns: median_solve_ns / (st.iterations.max(1) as u128),
         objective: s.objective(),
         iterations: st.iterations,
+        phase1_iterations: st.phase1_iterations,
+        dual_iterations: st.dual_iterations,
+        bound_flips: st.bound_flips,
+        scaling_passes: st.scaling_passes,
         refactorizations: st.refreshes,
         eta_updates: st.eta_updates,
         ft_spikes: st.ft_spikes,
@@ -209,6 +217,10 @@ fn config_json(m: &Measured) -> Json {
         ("median_pivot_ns", Json::Num(m.median_pivot_ns as f64)),
         ("objective", Json::Num(m.objective)),
         ("iterations", Json::Num(m.iterations as f64)),
+        ("phase1_iterations", Json::Num(m.phase1_iterations as f64)),
+        ("dual_iterations", Json::Num(m.dual_iterations as f64)),
+        ("bound_flips", Json::Num(m.bound_flips as f64)),
+        ("scaling_passes", Json::Num(m.scaling_passes as f64)),
         ("refactorizations", Json::Num(m.refactorizations as f64)),
         ("eta_updates", Json::Num(m.eta_updates as f64)),
         ("ft_spikes", Json::Num(m.ft_spikes as f64)),

@@ -10,7 +10,7 @@
 
 use metis_baselines::{ecoflow, mincost, opt_spm_with_start};
 use metis_bench::json::{obj, Json};
-use metis_bench::report::{lp_stats_table, phase_timing_table};
+use metis_bench::report::{convergence_table, lp_stats_table, phase_timing_table};
 use metis_core::{maa, metis_instrumented, FaultPlan, MaaOptions, MetisConfig, SpmInstance};
 use metis_lp::IlpOptions;
 use metis_telemetry::{to_prometheus, Telemetry};
@@ -34,6 +34,8 @@ struct Args {
     scenario: Option<String>,
     telemetry: Option<String>,
     telemetry_prometheus: Option<String>,
+    trace_chrome: Option<String>,
+    serve: Option<String>,
 }
 
 impl Default for Args {
@@ -52,15 +54,19 @@ impl Default for Args {
             scenario: None,
             telemetry: None,
             telemetry_prometheus: None,
+            trace_chrome: None,
+            serve: None,
         }
     }
 }
 
 const USAGE: &str = "usage: spm [--network b4|sub-b4] [--requests K] [--seed S] \
 [--theta T] [--paths P] [--opt-seconds N] [--compare] [--analyze] [--audit] [--json] [--scenario FILE.json] \
-[--telemetry OUT.json] [--telemetry-prometheus OUT.prom]\nnetworks: b4, sub-b4, abilene, geant (or a random spec in a scenario file)\n\
+[--telemetry OUT.json] [--telemetry-prometheus OUT.prom] [--trace-chrome OUT.json] [--serve ADDR]\nnetworks: b4, sub-b4, abilene, geant (or a random spec in a scenario file)\n\
 --audit certifies every LP solution and re-derives every schedule's load and\naccounting from scratch (always on in debug builds); the report lands in the\noutput (and the exit status: violations fail the run)\n\
---telemetry* flags capture per-phase spans and solver metrics during the run and\nwrite the snapshot to the given file (JSON or Prometheus text format)";
+--telemetry* flags capture per-phase spans and solver metrics during the run and\nwrite the snapshot to the given file (JSON or Prometheus text format)\n\
+--trace-chrome writes the span log as Chrome trace-event JSON (open it in\nui.perfetto.dev or chrome://tracing)\n\
+--serve binds an HTTP endpoint (e.g. 127.0.0.1:9184; port 0 picks a free one)\nexposing /metrics, /snapshot.json, and /trace.json, and keeps the process\nalive after the run until interrupted";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
@@ -108,6 +114,8 @@ fn parse_args() -> Result<Args, String> {
             "--telemetry-prometheus" => {
                 args.telemetry_prometheus = Some(value("--telemetry-prometheus")?)
             }
+            "--trace-chrome" => args.trace_chrome = Some(value("--trace-chrome")?),
+            "--serve" => args.serve = Some(value("--serve")?),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -305,17 +313,42 @@ fn main() {
     let requests = scenario.generate(&topo);
     let instance = SpmInstance::new(topo, requests, scenario.num_slots(), scenario.paths);
 
-    let want_tele = args.telemetry.is_some() || args.telemetry_prometheus.is_some();
+    let want_tele = args.telemetry.is_some()
+        || args.telemetry_prometheus.is_some()
+        || args.trace_chrome.is_some()
+        || args.serve.is_some();
     let tele = if want_tele {
         Telemetry::enabled()
     } else {
         Telemetry::disabled()
     };
 
-    let config = MetisConfig {
+    // Bind before the solve so scrapers can watch the run live; the bound
+    // address is printed immediately (port 0 resolves to a real port).
+    let server = args
+        .serve
+        .as_ref()
+        .map(|addr| match tele.serve(addr.as_str()) {
+            Ok(s) => {
+                println!("serving telemetry on http://{}/metrics", s.addr());
+                s
+            }
+            Err(e) => {
+                eprintln!("cannot serve telemetry on {addr}: {e}");
+                std::process::exit(1);
+            }
+        });
+
+    let mut config = MetisConfig {
         audit: args.audit,
         ..MetisConfig::with_theta(scenario.theta)
     };
+    if want_tele {
+        // Per-iteration LP traces are read-only observation: the pivot
+        // sequence (and therefore the schedule) is unchanged.
+        config.maa.lp.trace = true;
+        config.taa.lp.trace = true;
+    }
     let mut result = metis_instrumented(&instance, &config, &FaultPlan::none(), &tele)
         .unwrap_or_else(|e| {
             eprintln!("metis failed: {e}");
@@ -480,9 +513,16 @@ fn main() {
                 if let Some(path) = &args.telemetry_prometheus {
                     write(path, to_prometheus(&snap));
                 }
+                if let Some(path) = &args.trace_chrome {
+                    match tele.chrome_trace() {
+                        Some(body) => write(path, body),
+                        None => eprintln!("no span log captured; {path} not written"),
+                    }
+                }
                 if !args.json {
                     println!("\n{}", phase_timing_table(&snap).render());
                     println!("\n{}", lp_stats_table(&snap).render());
+                    println!("\n{}", convergence_table(&result.round_trace).render());
                 }
             }
             None => eprintln!(
@@ -496,6 +536,17 @@ rebuild metis-telemetry with default features"
         if !report.is_clean() {
             eprintln!("audit found {} violation(s)", report.violations.len());
             std::process::exit(1);
+        }
+    }
+
+    // Keep serving the finished run's metrics until interrupted.
+    if let Some(server) = server {
+        eprintln!(
+            "run complete; still serving http://{}/metrics (Ctrl-C to exit)",
+            server.addr()
+        );
+        loop {
+            std::thread::park();
         }
     }
 }

@@ -15,31 +15,67 @@
 
 use metis_bench::report::{f2, Table};
 use metis_bench::RESULTS_DIR;
-use metis_core::{metis, MetisConfig, SpmInstance};
+use metis_core::{metis_instrumented, FaultPlan, MetisConfig, SpmInstance};
+use metis_telemetry::Telemetry;
 use metis_workload::Scenario;
 
-fn scenario_dir() -> String {
+struct Args {
+    dir: String,
+    serve: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        dir: "scenarios".into(),
+        serve: None,
+    };
     let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, name: &str| {
+        args.next().unwrap_or_else(|| {
+            eprintln!("missing value for {name}");
+            std::process::exit(2);
+        })
+    };
     while let Some(flag) = args.next() {
         match flag.as_str() {
-            "--dir" => {
-                return args.next().unwrap_or_else(|| {
-                    eprintln!("missing value for --dir");
-                    std::process::exit(2);
-                })
-            }
+            "--dir" => parsed.dir = value(&mut args, "--dir"),
+            "--serve" => parsed.serve = Some(value(&mut args, "--serve")),
             "--quick" => {} // accepted for CI symmetry; the zoo is already quick
             other => {
-                eprintln!("unknown flag {other}\nusage: zoo [--dir scenarios] [--quick]");
+                eprintln!(
+                    "unknown flag {other}\nusage: zoo [--dir scenarios] [--serve ADDR] [--quick]"
+                );
                 std::process::exit(2);
             }
         }
     }
-    "scenarios".into()
+    parsed
 }
 
 fn main() {
-    let dir = scenario_dir();
+    let args = parse_args();
+    let dir = args.dir;
+
+    // One shared registry across every scenario run: scrapers watching
+    // the endpoint see the zoo's aggregate counters grow run by run.
+    let tele = if args.serve.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let server = args
+        .serve
+        .as_ref()
+        .map(|addr| match tele.serve(addr.as_str()) {
+            Ok(s) => {
+                println!("serving telemetry on http://{}/metrics", s.addr());
+                s
+            }
+            Err(e) => {
+                eprintln!("cannot serve telemetry on {addr}: {e}");
+                std::process::exit(1);
+            }
+        });
     let mut paths: Vec<_> = std::fs::read_dir(&dir)
         .unwrap_or_else(|e| {
             eprintln!("cannot read scenario directory {dir}: {e}");
@@ -89,7 +125,7 @@ fn main() {
             audit: true,
             ..MetisConfig::with_theta(scenario.theta)
         };
-        let result = match metis(&instance, &config) {
+        let result = match metis_instrumented(&instance, &config, &FaultPlan::none(), &tele) {
             Ok(r) => r,
             Err(e) => {
                 eprintln!("{}: metis failed: {e}", scenario.name);
@@ -129,5 +165,16 @@ fn main() {
     if failures > 0 {
         eprintln!("{failures} scenario(s) failed");
         std::process::exit(1);
+    }
+
+    // Keep serving the zoo's aggregate metrics until interrupted.
+    if let Some(server) = server {
+        eprintln!(
+            "zoo complete; still serving http://{}/metrics (Ctrl-C to exit)",
+            server.addr()
+        );
+        loop {
+            std::thread::park();
+        }
     }
 }

@@ -153,6 +153,42 @@ pub fn lp_stats_table(snapshot: &Snapshot) -> Table {
     t
 }
 
+/// Builds the solver convergence table from a run's round trace: one
+/// row per attempted solver invocation, showing how the profit record
+/// evolved, how hard each LP worked, and which attempts degraded.
+pub fn convergence_table(trace: &[metis_core::RoundTrace]) -> Table {
+    let mut t = Table::new(
+        "Solver convergence (round trace)",
+        &[
+            "round",
+            "phase",
+            "status",
+            "profit",
+            "best",
+            "accepted",
+            "mu",
+            "lp iters",
+            "basis",
+            "incidents",
+        ],
+    );
+    for e in trace {
+        t.push_row(vec![
+            e.round.to_string(),
+            e.phase.to_string(),
+            if e.completed { "ok" } else { "failed" }.to_string(),
+            f2(e.profit),
+            f2(e.best_profit),
+            e.accepted.to_string(),
+            e.mu.map_or_else(|| "-".to_string(), f3),
+            e.lp_iterations.to_string(),
+            if e.warm_started { "warm" } else { "cold" }.to_string(),
+            e.incidents.to_string(),
+        ]);
+    }
+    t
+}
+
 /// Formats a float with two decimals (the tables' default precision).
 pub fn f2(v: f64) -> String {
     format!("{v:.2}")
@@ -216,6 +252,44 @@ mod tests {
         assert!(t.rows.iter().any(|r| r[0] == "experiment.solve"));
         assert!(t.rows.iter().all(|r| r[1] == "1"));
         assert!(t.render().contains("total ms"));
+    }
+
+    #[test]
+    fn convergence_table_renders_trace() {
+        use metis_core::{Phase, RoundTrace};
+        let trace = vec![
+            RoundTrace {
+                round: 0,
+                phase: Phase::Maa,
+                completed: true,
+                profit: 10.0,
+                best_profit: 10.0,
+                accepted: 5,
+                mu: None,
+                lp_iterations: 42,
+                warm_started: false,
+                incidents: 0,
+            },
+            RoundTrace {
+                round: 1,
+                phase: Phase::Taa,
+                completed: false,
+                profit: 0.0,
+                best_profit: 10.0,
+                accepted: 0,
+                mu: Some(0.5),
+                lp_iterations: 0,
+                warm_started: true,
+                incidents: 1,
+            },
+        ];
+        let t = convergence_table(&trace);
+        assert_eq!(t.rows.len(), 2);
+        let r = t.render();
+        assert!(r.contains("MAA") && r.contains("TAA"));
+        assert!(r.contains("failed"));
+        assert!(r.contains("0.500"));
+        assert!(t.rows[0].contains(&"-".to_string()), "MAA row has no mu");
     }
 
     #[test]

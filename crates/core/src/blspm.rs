@@ -19,7 +19,9 @@
 //! taken, so the returned schedule always satisfies BL-SPM's constraints
 //! (the estimator then only steers revenue).
 
-use metis_lp::{Basis, Problem, Relation, RowId, Sense, SolveError, SolveOptions, SolveStats};
+use metis_lp::{
+    Basis, LpTrace, Problem, Relation, RowId, Sense, SolveError, SolveOptions, SolveStats,
+};
 use metis_telemetry::{names, Telemetry};
 use metis_workload::RequestId;
 
@@ -57,6 +59,9 @@ pub struct BlspmRelaxation {
     pub revenue: f64,
     /// Work counters from the LP solve that produced this relaxation.
     pub stats: SolveStats,
+    /// Per-iteration simplex trace (empty unless
+    /// [`SolveOptions::trace`] was set on the LP options).
+    pub lp_trace: LpTrace,
 }
 
 /// Result of one TAA run.
@@ -131,6 +136,7 @@ pub fn solve_blspm_relaxation(
         x,
         revenue: sol.objective(),
         stats: *sol.stats(),
+        lp_trace: sol.trace().clone(),
     })
 }
 
@@ -261,13 +267,16 @@ pub fn taa_instrumented(
     tele: &Telemetry,
 ) -> Result<TaaResult, SolveError> {
     let relaxation = {
-        let _relax = tele.span(names::SPAN_TAA_RELAX);
-        match solver {
+        let mut relax = tele.span(names::SPAN_TAA_RELAX);
+        let relaxation = match solver {
             Some(s) => s.solve(capacities, &options.lp)?,
             None => solve_blspm_relaxation(instance, capacities, &options.lp)?,
-        }
+        };
+        relax.arg(names::ARG_LP_ITERATIONS, relaxation.stats.iterations as f64);
+        relaxation
     };
     crate::obs::record_lp_stats(tele, &relaxation.stats);
+    crate::obs::record_lp_trace(tele, &relaxation.lp_trace);
     Ok(taa_from_relaxation(
         instance, capacities, options, relaxation, tele,
     ))
@@ -710,6 +719,7 @@ impl BlspmWarmSolver {
             x,
             revenue: sol.objective(),
             stats: *sol.stats(),
+            lp_trace: sol.trace().clone(),
         })
     }
 

@@ -97,6 +97,62 @@ pub struct IterationRecord {
     pub accepted: usize,
 }
 
+/// One entry of the solver convergence trace: an *attempted* solver
+/// invocation, whether it produced a schedule or failed.
+///
+/// Unlike [`IterationRecord`] (which only exists for successful solves),
+/// the convergence trace records one entry per attempt, so a run's shape
+/// — which rounds converged, which degraded, how hard the LP worked —
+/// can be reconstructed after the fact. Captured unconditionally (it is
+/// pure bookkeeping on values the framework already computes), so
+/// results stay bit-identical with telemetry on or off.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RoundTrace {
+    /// Alternation round: 0 for the initialization MAA, `1..=θ` after.
+    pub round: usize,
+    /// Which solver was invoked.
+    pub phase: Phase,
+    /// Whether the solve produced a schedule. `false` means the attempt
+    /// failed even after any cold retry and the round's update was
+    /// skipped; the profit/effort fields below are then zero.
+    pub completed: bool,
+    /// Profit of the schedule this invocation produced (0 if it failed).
+    pub profit: f64,
+    /// The SP Updater's record *after* this invocation was folded in.
+    pub best_profit: f64,
+    /// Accepted requests in the produced schedule (0 if it failed).
+    pub accepted: usize,
+    /// TAA's scaling factor `μ` — `None` for MAA entries and for TAA
+    /// rounds that declined everything rather than scale without a
+    /// guarantee.
+    pub mu: Option<f64>,
+    /// Simplex pivots spent on this invocation's LP relaxation.
+    pub lp_iterations: usize,
+    /// Whether that LP reoptimized from a prior basis.
+    pub warm_started: bool,
+    /// Contained failures attributed to this invocation (warm retries
+    /// and final failures); the sum over all entries equals
+    /// [`MetisResult::incidents`]`.len()` for offline runs.
+    pub incidents: usize,
+}
+
+impl RoundTrace {
+    /// Trace length bound: entries past this are dropped (and counted in
+    /// the `alternation.trace.dropped` metric) so adversarially large
+    /// `θ` cannot balloon the result.
+    pub const CAPACITY: usize = 4_096;
+}
+
+/// Appends a convergence-trace entry, enforcing [`RoundTrace::CAPACITY`].
+fn push_round_trace(tele: &Telemetry, trace: &mut Vec<RoundTrace>, entry: RoundTrace) {
+    if trace.len() >= RoundTrace::CAPACITY {
+        tele.incr(names::TRACE_ROUNDS_DROPPED);
+        return;
+    }
+    crate::obs::record_round_trace(tele, &entry);
+    trace.push(entry);
+}
+
 /// One contained failure observed during a run.
 ///
 /// Incidents never abort the run: the framework records what went wrong
@@ -193,6 +249,10 @@ pub struct MetisResult {
     /// Contained failures, in the order they were observed. Empty on a
     /// healthy run.
     pub incidents: Vec<Incident>,
+    /// Convergence trace: one [`RoundTrace`] per attempted solver
+    /// invocation, in execution order (bounded by
+    /// [`RoundTrace::CAPACITY`]).
+    pub round_trace: Vec<RoundTrace>,
     /// Outcome of the solution audits ([`crate::audit`]) run over every
     /// recorded schedule. `Some` whenever auditing was active
     /// ([`MetisConfig::audit`] or `debug_assertions`), `None` otherwise.
@@ -371,6 +431,7 @@ pub fn metis_instrumented(
     let k = instance.num_requests();
     let mut history = Vec::new();
     let mut incidents: Vec<Incident> = Vec::new();
+    let mut round_trace: Vec<RoundTrace> = Vec::new();
     let mut maa_attempts = 0usize;
     let mut taa_attempts = 0usize;
 
@@ -453,6 +514,7 @@ pub fn metis_instrumented(
     let round_start = tele.is_enabled().then(Instant::now);
     {
         let _round = tele.span(names::SPAN_ROUND);
+        let incidents_before = incidents.len();
         if let Some(first) = contained_solve(
             Phase::Maa,
             0,
@@ -464,6 +526,9 @@ pub fn metis_instrumented(
             |cold| run_maa(&accepted, cold),
         ) {
             caps = first.evaluation.charged.clone();
+            let profit = first.evaluation.profit;
+            let accepted_count = first.evaluation.accepted;
+            let stats = first.relaxation.stats;
             record(
                 Phase::Maa,
                 first.schedule,
@@ -472,6 +537,39 @@ pub fn metis_instrumented(
                 &mut best_eval,
                 &mut history,
                 &mut audit_acc,
+            );
+            push_round_trace(
+                tele,
+                &mut round_trace,
+                RoundTrace {
+                    round: 0,
+                    phase: Phase::Maa,
+                    completed: true,
+                    profit,
+                    best_profit: best_eval.profit,
+                    accepted: accepted_count,
+                    mu: None,
+                    lp_iterations: stats.iterations,
+                    warm_started: stats.warm_started,
+                    incidents: incidents.len() - incidents_before,
+                },
+            );
+        } else {
+            push_round_trace(
+                tele,
+                &mut round_trace,
+                RoundTrace {
+                    round: 0,
+                    phase: Phase::Maa,
+                    completed: false,
+                    profit: 0.0,
+                    best_profit: best_eval.profit,
+                    accepted: 0,
+                    mu: None,
+                    lp_iterations: 0,
+                    warm_started: false,
+                    incidents: incidents.len() - incidents_before,
+                },
             );
         }
     }
@@ -500,6 +598,7 @@ pub fn metis_instrumented(
             }
 
             // BL-SPM Solver: re-select requests under the tightened budget.
+            let incidents_before = incidents.len();
             let t = contained_solve(
                 Phase::Taa,
                 round + 1,
@@ -515,6 +614,22 @@ pub fn metis_instrumented(
                 // Skip the round's update: the accepted set and the SP
                 // Updater's record stand; the tightened budget carries over
                 // so the limiter still makes progress next round.
+                push_round_trace(
+                    tele,
+                    &mut round_trace,
+                    RoundTrace {
+                        round: round + 1,
+                        phase: Phase::Taa,
+                        completed: false,
+                        profit: 0.0,
+                        best_profit: best_eval.profit,
+                        accepted: 0,
+                        mu: None,
+                        lp_iterations: 0,
+                        warm_started: false,
+                        incidents: incidents.len() - incidents_before,
+                    },
+                );
                 break 'round;
             };
             accepted = (0..k)
@@ -524,6 +639,10 @@ pub fn metis_instrumented(
                 // TAA must respect the budget the limiter just set.
                 acc.merge(crate::audit::audit_capacities(instance, &t.schedule, &caps));
             }
+            let profit = t.evaluation.profit;
+            let accepted_count = t.evaluation.accepted;
+            let stats = t.relaxation.stats;
+            let mu = t.mu;
             record(
                 Phase::Taa,
                 t.schedule,
@@ -533,6 +652,22 @@ pub fn metis_instrumented(
                 &mut history,
                 &mut audit_acc,
             );
+            push_round_trace(
+                tele,
+                &mut round_trace,
+                RoundTrace {
+                    round: round + 1,
+                    phase: Phase::Taa,
+                    completed: true,
+                    profit,
+                    best_profit: best_eval.profit,
+                    accepted: accepted_count,
+                    mu,
+                    lp_iterations: stats.iterations,
+                    warm_started: stats.warm_started,
+                    incidents: incidents.len() - incidents_before,
+                },
+            );
 
             if accepted.iter().all(|&a| !a) {
                 stop = true;
@@ -540,6 +675,7 @@ pub fn metis_instrumented(
             }
 
             // RL-SPM Solver: re-minimize cost for the surviving set.
+            let incidents_before = incidents.len();
             let m = contained_solve(
                 Phase::Maa,
                 round + 1,
@@ -553,11 +689,30 @@ pub fn metis_instrumented(
             let Some(m) = m else {
                 // Skip only the budget refinement; the TAA schedule above is
                 // already recorded.
+                push_round_trace(
+                    tele,
+                    &mut round_trace,
+                    RoundTrace {
+                        round: round + 1,
+                        phase: Phase::Maa,
+                        completed: false,
+                        profit: 0.0,
+                        best_profit: best_eval.profit,
+                        accepted: 0,
+                        mu: None,
+                        lp_iterations: 0,
+                        warm_started: false,
+                        incidents: incidents.len() - incidents_before,
+                    },
+                );
                 break 'round;
             };
             for (c, &m_c) in caps.iter_mut().zip(&m.evaluation.charged) {
                 *c = c.min(m_c);
             }
+            let profit = m.evaluation.profit;
+            let accepted_count = m.evaluation.accepted;
+            let stats = m.relaxation.stats;
             record(
                 Phase::Maa,
                 m.schedule,
@@ -566,6 +721,22 @@ pub fn metis_instrumented(
                 &mut best_eval,
                 &mut history,
                 &mut audit_acc,
+            );
+            push_round_trace(
+                tele,
+                &mut round_trace,
+                RoundTrace {
+                    round: round + 1,
+                    phase: Phase::Maa,
+                    completed: true,
+                    profit,
+                    best_profit: best_eval.profit,
+                    accepted: accepted_count,
+                    mu: None,
+                    lp_iterations: stats.iterations,
+                    warm_started: stats.warm_started,
+                    incidents: incidents.len() - incidents_before,
+                },
             );
         }
         drop(round_span);
@@ -597,6 +768,7 @@ pub fn metis_instrumented(
         history,
         rounds,
         incidents,
+        round_trace,
         audit: audit_acc,
     })
 }
@@ -711,6 +883,7 @@ mod tests {
                 );
                 assert_eq!(run.history, reference.history);
                 assert_eq!(run.evaluation, reference.evaluation);
+                assert_eq!(run.round_trace, reference.round_trace);
             }
         }
     }
@@ -748,6 +921,7 @@ mod tests {
             assert_eq!(run.schedule, plain.schedule, "warm_start = {warm_start}");
             assert_eq!(run.history, plain.history);
             assert_eq!(run.evaluation, plain.evaluation);
+            assert_eq!(run.round_trace, plain.round_trace);
             if let Some(s) = tele.snapshot() {
                 assert!(s.counter(names::LP_SIMPLEX_ITERATIONS) > 0);
                 assert!(s.counter(names::ROUNDS) >= 1);
@@ -792,6 +966,63 @@ mod tests {
             assert!(s.events.iter().all(|e| e.kind == names::EVENT_INCIDENT));
             assert!(s.events[0].message.contains("TAA"));
         }
+    }
+
+    #[test]
+    fn round_trace_agrees_with_result() {
+        let inst = instance(30, 10);
+        for warm_start in [false, true] {
+            let cfg = MetisConfig {
+                theta: 5,
+                warm_start,
+                ..MetisConfig::default()
+            };
+            let res = metis(&inst, &cfg).unwrap();
+            // Completed entries mirror the profit history one-to-one.
+            let completed: Vec<_> = res.round_trace.iter().filter(|t| t.completed).collect();
+            assert_eq!(completed.len(), res.history.len());
+            for (t, h) in completed.iter().zip(&res.history) {
+                assert_eq!(t.phase, h.phase, "warm_start = {warm_start}");
+                assert_eq!(t.profit, h.profit);
+                assert_eq!(t.accepted, h.accepted);
+            }
+            // Every contained failure is attributed to exactly one entry.
+            let attributed: usize = res.round_trace.iter().map(|t| t.incidents).sum();
+            assert_eq!(attributed, res.incidents.len());
+            // The running record is monotone and ends at the reported profit.
+            for w in res.round_trace.windows(2) {
+                assert!(w[1].best_profit >= w[0].best_profit);
+            }
+            let last = res.round_trace.last().expect("round 0 always traced");
+            assert_eq!(last.best_profit, res.evaluation.profit);
+            // MAA entries never carry μ; entry rounds are non-decreasing.
+            assert!(res
+                .round_trace
+                .iter()
+                .filter(|t| t.phase == Phase::Maa)
+                .all(|t| t.mu.is_none()));
+            assert!(res.round_trace.windows(2).all(|w| w[0].round <= w[1].round));
+        }
+    }
+
+    #[test]
+    fn round_trace_records_failed_attempts() {
+        let inst = instance(15, 11);
+        let cfg = MetisConfig {
+            theta: 2,
+            ..MetisConfig::default()
+        };
+        // No cold retry without warm_start: attempt 0 of TAA fails for good.
+        let faults = FaultPlan::none().fail_at_with(Phase::Taa, 0, SolveError::Singular);
+        let res = metis_with_faults(&inst, &cfg, &faults).unwrap();
+        let failed: Vec<_> = res.round_trace.iter().filter(|t| !t.completed).collect();
+        assert_eq!(failed.len(), 1);
+        assert_eq!(failed[0].phase, Phase::Taa);
+        assert_eq!(failed[0].round, 1);
+        assert_eq!(failed[0].incidents, 1);
+        assert_eq!(failed[0].lp_iterations, 0);
+        let attributed: usize = res.round_trace.iter().map(|t| t.incidents).sum();
+        assert_eq!(attributed, res.incidents.len());
     }
 
     #[test]

@@ -73,7 +73,7 @@ pub use error::{InstanceError, MetisError};
 pub use faults::FaultPlan;
 pub use framework::{
     metis, metis_instrumented, metis_with_faults, Incident, IterationRecord, MetisConfig,
-    MetisResult, Phase,
+    MetisResult, Phase, RoundTrace,
 };
 pub use instance::{SpmInstance, DEFAULT_PATHS_PER_PAIR};
 pub use limiter::LimiterRule;

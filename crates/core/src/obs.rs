@@ -1,7 +1,9 @@
 //! Internal glue between the pipeline and the telemetry layer.
 
-use metis_lp::SolveStats;
+use metis_lp::{LpTrace, SolveStats};
 use metis_telemetry::{names, Telemetry};
+
+use crate::framework::RoundTrace;
 
 /// Records one LP solve's work counters into the shared registry.
 pub(crate) fn record_lp_stats(tele: &Telemetry, stats: &SolveStats) {
@@ -40,4 +42,26 @@ pub(crate) fn record_lp_stats(tele: &Telemetry, stats: &SolveStats) {
     } else {
         tele.incr(names::LP_COLD_SOLVES);
     }
+}
+
+/// Records one LP solve's per-iteration trace volume. The trace is only
+/// populated when [`metis_lp::SolveOptions::trace`] was set, so on
+/// default-configured runs this records nothing.
+pub(crate) fn record_lp_trace(tele: &Telemetry, trace: &LpTrace) {
+    if !tele.is_enabled() || trace.total() == 0 {
+        return;
+    }
+    tele.add(names::LP_TRACE_RECORDS, trace.records.len() as u64);
+    tele.add(names::LP_TRACE_DROPPED, trace.dropped);
+}
+
+/// Pushes one convergence-trace entry onto the trace series, so the
+/// accepted-count and LP-effort curves are visible in the snapshot and
+/// over `/metrics` without shipping the full [`RoundTrace`] vector.
+pub(crate) fn record_round_trace(tele: &Telemetry, entry: &RoundTrace) {
+    if !tele.is_enabled() {
+        return;
+    }
+    tele.push(names::TRACE_ACCEPTED, entry.accepted as f64);
+    tele.push(names::TRACE_LP_ITERATIONS, entry.lp_iterations as f64);
 }

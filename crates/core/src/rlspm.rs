@@ -17,7 +17,7 @@ use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 
-use metis_lp::{Basis, Problem, Relation, Sense, SolveError, SolveOptions, SolveStats};
+use metis_lp::{Basis, LpTrace, Problem, Relation, Sense, SolveError, SolveOptions, SolveStats};
 use metis_telemetry::{names, Telemetry};
 use metis_workload::RequestId;
 
@@ -72,6 +72,9 @@ pub struct RlspmRelaxation {
     pub cost: f64,
     /// Work counters from the LP solve that produced this relaxation.
     pub stats: SolveStats,
+    /// Per-iteration simplex trace (empty unless
+    /// [`SolveOptions::trace`] was set on the LP options).
+    pub lp_trace: LpTrace,
 }
 
 impl RlspmRelaxation {
@@ -189,6 +192,7 @@ pub fn solve_rlspm_relaxation(
         c,
         cost: sol.objective(),
         stats: *sol.stats(),
+        lp_trace: sol.trace().clone(),
     })
 }
 
@@ -377,6 +381,7 @@ impl RlspmWarmSolver {
             c,
             cost: sol.objective(),
             stats: *sol.stats(),
+            lp_trace: sol.trace().clone(),
         })
     }
 
@@ -451,13 +456,16 @@ pub fn maa_instrumented(
     tele: &Telemetry,
 ) -> Result<MaaResult, SolveError> {
     let relaxation = {
-        let _relax = tele.span(names::SPAN_MAA_RELAX);
-        match solver {
+        let mut relax = tele.span(names::SPAN_MAA_RELAX);
+        let relaxation = match solver {
             Some(s) => s.solve(accepted, &options.lp)?,
             None => solve_rlspm_relaxation(instance, accepted, &options.lp)?,
-        }
+        };
+        relax.arg(names::ARG_LP_ITERATIONS, relaxation.stats.iterations as f64);
+        relaxation
     };
     crate::obs::record_lp_stats(tele, &relaxation.stats);
+    crate::obs::record_lp_trace(tele, &relaxation.lp_trace);
     Ok(maa_from_relaxation(
         instance, accepted, options, relaxation, tele,
     ))

@@ -51,5 +51,5 @@ pub use presolve::{
     equilibrate, presolve, presolve_and_solve, PresolveReport, Restoration, Scaling,
 };
 pub use simplex::{Basis, BasisBackend, FactorUpdate, Pricing, RatioTest, SolveOptions};
-pub use solution::{Solution, SolveStats};
+pub use solution::{LpTrace, Solution, SolveStats, TracePricing, TraceRecord};
 pub use verify::{certify, Certificate};

@@ -75,7 +75,9 @@ impl Restoration {
             .collect();
         let obj = reduced.objective() + self.objective_offset;
         let _ = self.sense;
-        Solution::new(obj, values, reduced.iterations()).with_stats(*reduced.stats())
+        Solution::new(obj, values, reduced.iterations())
+            .with_stats(*reduced.stats())
+            .with_trace(reduced.trace().clone())
     }
 }
 
@@ -398,7 +400,9 @@ impl Scaling {
             scaling_passes: self.passes,
             ..*scaled.stats()
         };
-        let out = Solution::new(scaled.objective(), values, scaled.iterations()).with_stats(stats);
+        let out = Solution::new(scaled.objective(), values, scaled.iterations())
+            .with_stats(stats)
+            .with_trace(scaled.trace().clone());
         match scaled.duals() {
             Some(d) => {
                 let duals: Vec<f64> = d.iter().zip(&self.row).map(|(y, r)| y * r).collect();

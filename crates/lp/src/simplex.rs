@@ -46,7 +46,7 @@ use crate::error::SolveError;
 use crate::factor::{EtaFile, FtFactors, LuFactors};
 use crate::matrix::{CscBuilder, CscMatrix};
 use crate::model::{Problem, Relation, Sense};
-use crate::solution::{Solution, SolveStats};
+use crate::solution::{LpTrace, Solution, SolveStats, TracePricing, TraceRecord};
 
 /// How the simplex represents (the inverse of) the basis matrix.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -180,6 +180,13 @@ pub struct SolveOptions {
     /// disagreement. Always on under `debug_assertions`; this flag forces
     /// it in release builds (`MetisConfig::audit` sets it).
     pub verify: bool,
+    /// Record a per-iteration trace (entering/leaving column, objective,
+    /// pivot magnitude, pricing rule) into a bounded ring returned via
+    /// [`Solution::trace`]. Off by default: each traced step costs an
+    /// `O(m + n)` objective evaluation. Tracing is read-only — it never
+    /// changes the pivot sequence, so a traced solve returns exactly
+    /// the solution an untraced one does.
+    pub trace: bool,
 }
 
 impl Default for SolveOptions {
@@ -196,6 +203,7 @@ impl Default for SolveOptions {
             factor_update: FactorUpdate::ProductForm,
             scale: false,
             verify: false,
+            trace: false,
         }
     }
 }
@@ -378,6 +386,13 @@ struct Simplex {
     ft_spikes: usize,
     harris_expansions: usize,
 
+    /// Per-iteration ring buffer, filled only when `opts.trace` is set.
+    /// `trace[trace_start..]` then `trace[..trace_start]` is the
+    /// chronological order once the ring has wrapped.
+    trace: Vec<TraceRecord>,
+    trace_start: usize,
+    trace_dropped: u64,
+
     // Scratch buffers reused across iterations.
     y: Vec<f64>,
     w: Vec<f64>,
@@ -524,6 +539,9 @@ impl Simplex {
             devex_resets: 0,
             ft_spikes: 0,
             harris_expansions: 0,
+            trace: Vec::new(),
+            trace_start: 0,
+            trace_dropped: 0,
             y: vec![0.0; m],
             w: vec![0.0; m],
             rowbuf: vec![0.0; m],
@@ -895,6 +913,7 @@ impl Simplex {
                 return Err(SolveError::Singular); // sign bookkeeping broke
             }
             self.apply_pivot(col, dir, row, step.max(0.0), at_upper)?;
+            self.trace_step(col, Some(bj), wr.abs(), TracePricing::Dual);
         }
     }
 
@@ -944,9 +963,71 @@ impl Simplex {
             presolve_removed_vars: 0,
             scaling_passes: 0,
         };
+        let trace = self.take_trace();
         Ok(Solution::new(obj, x, self.iterations)
             .with_stats(stats)
-            .with_duals(duals))
+            .with_duals(duals)
+            .with_trace(trace))
+    }
+
+    /// Which rule is choosing entering columns for the primal right now.
+    fn primal_pricing(&self, bland: bool) -> TracePricing {
+        if bland {
+            TracePricing::Bland
+        } else if self.devex {
+            TracePricing::Devex
+        } else if self.price_block > 0 {
+            TracePricing::Partial
+        } else {
+            TracePricing::Dantzig
+        }
+    }
+
+    /// Appends one step to the bounded trace ring. No-op unless
+    /// `opts.trace` is set, so untraced solves pay a single branch.
+    /// Call *after* the step was applied: the recorded objective is the
+    /// post-step value (phase-1 steps record the phase-1 objective —
+    /// total artificial infeasibility — which is what a convergence
+    /// plot of feasibility restoration wants).
+    fn trace_step(
+        &mut self,
+        entering: usize,
+        leaving: Option<usize>,
+        pivot: f64,
+        pricing: TracePricing,
+    ) {
+        if !self.opts.trace {
+            return;
+        }
+        let mut objective = self.current_objective();
+        if self.maximize {
+            objective = -objective;
+        }
+        let record = TraceRecord {
+            iteration: self.iterations,
+            entering,
+            leaving,
+            objective,
+            pivot,
+            pricing,
+        };
+        if self.trace.len() < LpTrace::CAPACITY {
+            self.trace.push(record);
+        } else {
+            self.trace[self.trace_start] = record;
+            self.trace_start = (self.trace_start + 1) % LpTrace::CAPACITY;
+            self.trace_dropped += 1;
+        }
+    }
+
+    /// Drains the trace ring into chronological order for the solution.
+    fn take_trace(&mut self) -> LpTrace {
+        let mut records = std::mem::take(&mut self.trace);
+        records.rotate_left(self.trace_start);
+        self.trace_start = 0;
+        let dropped = self.trace_dropped;
+        self.trace_dropped = 0;
+        LpTrace { records, dropped }
     }
 
     /// Objective of the current basic solution under `self.cost`.
@@ -992,6 +1073,7 @@ impl Simplex {
                         Ratio::BoundFlip { step } => {
                             self.apply_bound_flip(col, dir, step);
                             self.degenerate_streak = 0;
+                            self.trace_step(col, None, 0.0, self.primal_pricing(bland));
                         }
                         Ratio::Pivot {
                             row,
@@ -1009,7 +1091,15 @@ impl Simplex {
                             if self.devex {
                                 self.update_devex_weights(col, row);
                             }
+                            let leaving = self.basis[row] as usize;
+                            let pivot_mag = self.w[row].abs();
                             self.apply_pivot(col, dir, row, step, to_upper)?;
+                            self.trace_step(
+                                col,
+                                Some(leaving),
+                                pivot_mag,
+                                self.primal_pricing(bland),
+                            );
                         }
                     }
                 }
@@ -1777,6 +1867,79 @@ mod tests {
         let x = p.add_var(1.0, 0.0, 1.0);
         p.add_constraint([(x, 1.0)], Relation::Ge, 2.0);
         assert_eq!(p.solve().unwrap_err(), SolveError::Infeasible);
+    }
+
+    #[test]
+    fn trace_is_read_only_and_complete() {
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(3.0, 0.0, f64::INFINITY);
+        let y = p.add_var(5.0, 0.0, f64::INFINITY);
+        p.add_constraint([(x, 1.0)], Relation::Le, 4.0);
+        p.add_constraint([(y, 2.0)], Relation::Le, 12.0);
+        p.add_constraint([(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+
+        let plain = p.solve().unwrap();
+        let traced = p
+            .solve_with(&SolveOptions {
+                trace: true,
+                ..SolveOptions::default()
+            })
+            .unwrap();
+
+        // Tracing never changes the pivot sequence or the answer.
+        assert_eq!(plain.values(), traced.values());
+        assert_eq!(plain.objective(), traced.objective());
+        assert_eq!(plain.stats(), traced.stats());
+        assert!(plain.trace().records.is_empty(), "untraced solve is clean");
+
+        let trace = traced.trace();
+        assert_eq!(trace.dropped, 0);
+        // One record per pivot or bound flip.
+        assert_eq!(
+            trace.total() as usize,
+            traced.stats().iterations + traced.stats().bound_flips
+        );
+        // Iteration indices are 1-based, strictly increasing, and the
+        // last record lands on the solve's final objective.
+        for (k, r) in trace.records.iter().enumerate() {
+            if k > 0 {
+                assert!(r.iteration > trace.records[k - 1].iteration);
+            }
+            assert!(r.leaving.is_some() || r.pivot == 0.0);
+        }
+        let last = trace.records.last().unwrap();
+        assert!((last.objective - traced.objective()).abs() < 1e-9);
+        assert_eq!(last.pricing, TracePricing::Dantzig);
+    }
+
+    #[test]
+    fn trace_records_dual_pivots_on_warm_restarts() {
+        // Solve, tighten a bound so the old basis is primal-infeasible
+        // but dual-feasible, and reoptimize warm with tracing on.
+        let mut p = Problem::new(Sense::Maximize);
+        let x = p.add_var(3.0, 0.0, f64::INFINITY);
+        let y = p.add_var(5.0, 0.0, f64::INFINITY);
+        p.add_constraint([(x, 1.0)], Relation::Le, 4.0);
+        p.add_constraint([(y, 2.0)], Relation::Le, 12.0);
+        p.add_constraint([(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        let opts = SolveOptions {
+            trace: true,
+            ..SolveOptions::default()
+        };
+        let (sol, basis) = p.solve_with_basis(&opts, None).unwrap();
+        assert!(sol.trace().total() > 0);
+
+        let mut q = p.clone();
+        q.set_bounds(y, 0.0, 2.0);
+        let (resol, _) = q.solve_with_basis(&opts, Some(&basis)).unwrap();
+        assert!(resol.stats().warm_started);
+        if resol.stats().dual_iterations > 0 {
+            assert!(resol
+                .trace()
+                .records
+                .iter()
+                .any(|r| r.pricing == TracePricing::Dual));
+        }
     }
 
     #[test]

@@ -42,8 +42,10 @@
 
 mod metrics;
 mod prometheus;
+mod serve;
 mod snapshot;
 mod span;
+mod trace;
 
 use std::marker::PhantomData;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -52,10 +54,12 @@ use std::time::Instant;
 
 pub use metrics::{bucket_index, BUCKET_COUNT, HISTOGRAM_BOUNDS, SERIES_CAPACITY};
 pub use prometheus::{to_prometheus, validate_prometheus};
+pub use serve::MetricsServer;
 pub use snapshot::{
     CounterSnapshot, DroppedCounts, EventSnapshot, GaugeSnapshot, HistogramSnapshot,
     SeriesSnapshot, Snapshot, SpanSnapshot,
 };
+pub use trace::TraceSpan;
 
 use metrics::Registry;
 use span::{SpanCollector, SpanRecord};
@@ -137,6 +141,26 @@ pub mod names {
     pub const AUDIT_VIOLATIONS: &str = "audit.violations";
     /// Event kind used for audit violations (one event per violation).
     pub const EVENT_AUDIT: &str = "audit.violation";
+    /// Counter: HTTP requests served by the live metrics endpoint.
+    pub const TELEMETRY_HTTP_REQUESTS: &str = "telemetry.http.requests";
+    /// Counter: raw span records dropped once the bounded log filled.
+    pub const TELEMETRY_SPANS_DROPPED: &str = "telemetry.spans.dropped";
+    /// Counter: events dropped once the bounded event log filled.
+    pub const TELEMETRY_EVENTS_DROPPED: &str = "telemetry.events.dropped";
+    /// Series: accepted requests after each solver invocation
+    /// (convergence trace; one point per MAA/TAA call).
+    pub const TRACE_ACCEPTED: &str = "alternation.trace.accepted";
+    /// Series: LP pivots spent by each solver invocation's relaxation
+    /// (convergence trace; one point per MAA/TAA call).
+    pub const TRACE_LP_ITERATIONS: &str = "alternation.trace.lp_iterations";
+    /// Counter: convergence-trace entries dropped past the bound.
+    pub const TRACE_ROUNDS_DROPPED: &str = "alternation.trace.dropped";
+    /// Counter: per-iteration LP trace records kept (across solves).
+    pub const LP_TRACE_RECORDS: &str = "lp.trace.records";
+    /// Counter: per-iteration LP trace records dropped by the ring.
+    pub const LP_TRACE_DROPPED: &str = "lp.trace.dropped";
+    /// Span arg: LP pivots of the relaxation solved under the span.
+    pub const ARG_LP_ITERATIONS: &str = "lp.iterations";
 
     /// Span: one whole offline Metis run.
     pub const SPAN_METIS: &str = "metis";
@@ -173,6 +197,8 @@ struct Collector {
     spans: SpanCollector,
     events: Mutex<Vec<Event>>,
     events_dropped: AtomicU64,
+    /// Trace epoch: span start offsets are measured from here.
+    epoch: Instant,
 }
 
 impl Collector {
@@ -182,6 +208,7 @@ impl Collector {
             spans: SpanCollector::new(),
             events: Mutex::new(Vec::new()),
             events_dropped: AtomicU64::new(0),
+            epoch: Instant::now(),
         }
     }
 }
@@ -233,6 +260,11 @@ impl Telemetry {
         self.inner.is_some()
     }
 
+    /// The backing collector, for in-crate exporters.
+    pub(crate) fn collector(&self) -> Option<&Collector> {
+        self.inner.as_deref()
+    }
+
     /// Opens a timed span; it records itself when the guard drops.
     /// Guards must be dropped on the thread that opened them, in LIFO
     /// order (the guard is `!Send`, and lexical scoping gives LIFO for
@@ -246,6 +278,7 @@ impl Telemetry {
                 parent,
                 depth,
                 start: Instant::now(),
+                args: Vec::new(),
             }
         });
         Span {
@@ -327,6 +360,20 @@ impl Telemetry {
                 value: cell.get(),
             })
             .collect();
+        // Surface buffer saturation as first-class counters (always
+        // present, usually 0) so a truncated span log or event stream
+        // is visible on /metrics instead of silently reading as
+        // "covered everything". The names are reserved: the registry
+        // has no slots for them, so they cannot collide with organic
+        // counters.
+        counters.push(CounterSnapshot {
+            name: names::TELEMETRY_SPANS_DROPPED.to_string(),
+            value: c.spans.dropped(),
+        });
+        counters.push(CounterSnapshot {
+            name: names::TELEMETRY_EVENTS_DROPPED.to_string(),
+            value: c.events_dropped.load(Ordering::Relaxed),
+        });
         counters.sort_by(|a, b| a.name.cmp(&b.name));
 
         let mut gauges: Vec<GaugeSnapshot> = c
@@ -449,6 +496,7 @@ struct ActiveSpan<'t> {
     parent: Option<&'static str>,
     depth: u32,
     start: Instant,
+    args: Vec<(&'static str, f64)>,
 }
 
 /// RAII guard returned by [`Telemetry::span`]. Records the span when
@@ -458,16 +506,35 @@ pub struct Span<'t> {
     _not_send: PhantomData<*const ()>,
 }
 
+impl Span<'_> {
+    /// Attaches a numeric argument to the span (e.g. the LP pivot
+    /// count of the solve it timed). Arguments ride on the raw record
+    /// into the Chrome trace export; aggregates ignore them. No-op on
+    /// a disabled handle.
+    pub fn arg(&mut self, name: &'static str, value: f64) {
+        if let Some(a) = self.active.as_mut() {
+            a.args.push((name, value));
+        }
+    }
+}
+
 impl Drop for Span<'_> {
     fn drop(&mut self) {
         if let Some(a) = self.active.take() {
             let end = Instant::now();
             let duration_us = end.saturating_duration_since(a.start).as_micros() as u64;
+            let start_us = a
+                .start
+                .saturating_duration_since(a.collector.epoch)
+                .as_micros() as u64;
             a.collector.spans.exit(SpanRecord {
                 name: a.name,
                 parent: a.parent,
                 depth: a.depth,
+                lane: span::current_lane(),
+                start_us,
                 duration_us,
+                args: a.args,
             });
         }
     }

@@ -20,13 +20,14 @@ const PREFIX: &str = "metis_";
 fn family(name: &str) -> String {
     let mut out = String::with_capacity(PREFIX.len() + name.len());
     out.push_str(PREFIX);
-    for (i, ch) in name.chars().enumerate() {
-        let ok = ch.is_ascii_alphanumeric() || ch == '_' || ch == ':';
-        let ok_first = ch.is_ascii_alphabetic() || ch == '_' || ch == ':';
-        if (i == 0 && !ok_first) || !ok {
-            out.push('_');
-        } else {
+    // The prefix guarantees a valid first character, so every name
+    // character only needs the continuation grammar — leading digits
+    // survive (`9lives` → `metis_9lives`); anything else maps to `_`.
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() || ch == '_' || ch == ':' {
             out.push(ch);
+        } else {
+            out.push('_');
         }
     }
     out
@@ -382,7 +383,54 @@ mod tests {
             family("lp.simplex.iterations"),
             "metis_lp_simplex_iterations"
         );
-        assert_eq!(family("9lives"), "metis__lives");
+        // Leading digits are legal after the `metis_` prefix.
+        assert_eq!(family("9lives"), "metis_9lives");
+        assert_eq!(family("a-b c/d"), "metis_a_b_c_d");
+        assert_eq!(family("café.λ"), "metis_caf___");
+        assert_eq!(family(""), "metis_");
+    }
+
+    #[test]
+    fn hostile_names_and_labels_export_validly() {
+        use crate::snapshot::{
+            CounterSnapshot, DroppedCounts, EventSnapshot, SeriesSnapshot, Snapshot, SpanSnapshot,
+        };
+        let snap = Snapshot {
+            counters: vec![CounterSnapshot {
+                name: "9lives of-the.café".into(),
+                value: 3,
+            }],
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+            series: vec![SeriesSnapshot {
+                name: "söries/points".into(),
+                points: vec![1.5],
+                dropped: 2,
+            }],
+            spans: vec![SpanSnapshot {
+                name: "span \"with\" quotes\\and\nnewline".into(),
+                parent: None,
+                count: 1,
+                total_us: 5,
+                min_us: 5,
+                max_us: 5,
+                max_depth: 1,
+            }],
+            events: vec![EventSnapshot {
+                seq: 0,
+                kind: "kind\"quoted\"".into(),
+                message: "m".into(),
+            }],
+            max_span_depth: 1,
+            dropped: DroppedCounts::default(),
+        };
+        let text = to_prometheus(&snap);
+        validate_prometheus(&text).expect("hostile names must still export valid text");
+        assert!(text.contains("metis_9lives_of_the_caf_ 3"));
+        assert!(text.contains("metis_s_ries_points_points_total 3"));
+        // Quotes, backslashes, and newlines in label values are escaped.
+        assert!(text.contains("span=\"span \\\"with\\\" quotes\\\\and\\nnewline\""));
+        assert!(text.contains("kind=\"kind\\\"quoted\\\"\""));
     }
 
     #[test]
@@ -415,5 +463,20 @@ metis_span_calls_total{span=\"maa.rounding\"} 6 1700000000
         assert!(validate_prometheus(shrinking)
             .unwrap_err()
             .contains("cumulative"));
+        // Bad escape inside a label value.
+        assert!(validate_prometheus("name{l=\"a\\t\"} 1\n").is_err());
+        // Label names must not start with a digit.
+        assert!(validate_prometheus("name{9l=\"v\"} 1\n").is_err());
+        // Duplicate TYPE for one family.
+        assert!(validate_prometheus("# TYPE f counter\n# TYPE f gauge\nf 1\n").is_err());
+        // A histogram family only admits _bucket/_sum/_count samples.
+        assert!(validate_prometheus(
+            "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_count 1\nh 2\n"
+        )
+        .is_err());
+        // Unsanitized dotted/unicode names are rejected, proving the
+        // validator would catch a family() regression.
+        assert!(validate_prometheus("metis_a.b 1\n").is_err());
+        assert!(validate_prometheus("metis_café 1\n").is_err());
     }
 }

@@ -304,8 +304,8 @@ impl Snapshot {
 
 /// Minimal pretty-printing JSON writer (objects, arrays, strings,
 /// numbers, null). Keys are written in the order given; callers are
-/// responsible for sorting.
-struct JsonWriter {
+/// responsible for sorting. Shared with the Chrome-trace exporter.
+pub(crate) struct JsonWriter {
     out: String,
     indent: usize,
     /// Whether the current container already holds an element.
@@ -315,7 +315,7 @@ struct JsonWriter {
 }
 
 impl JsonWriter {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         JsonWriter {
             out: String::new(),
             indent: 0,
@@ -324,7 +324,7 @@ impl JsonWriter {
         }
     }
 
-    fn finish(mut self) -> String {
+    pub(crate) fn finish(mut self) -> String {
         self.out.push('\n');
         self.out
     }
@@ -350,14 +350,14 @@ impl JsonWriter {
         }
     }
 
-    fn open_obj(&mut self) {
+    pub(crate) fn open_obj(&mut self) {
         self.before_value();
         self.out.push('{');
         self.indent += 1;
         self.has_item.push(false);
     }
 
-    fn close_obj(&mut self) {
+    pub(crate) fn close_obj(&mut self) {
         self.indent -= 1;
         let had = self.has_item.pop().unwrap_or(false);
         if had {
@@ -366,14 +366,14 @@ impl JsonWriter {
         self.out.push('}');
     }
 
-    fn open_arr(&mut self) {
+    pub(crate) fn open_arr(&mut self) {
         self.before_value();
         self.out.push('[');
         self.indent += 1;
         self.has_item.push(false);
     }
 
-    fn close_arr(&mut self) {
+    pub(crate) fn close_arr(&mut self) {
         self.indent -= 1;
         let had = self.has_item.pop().unwrap_or(false);
         if had {
@@ -382,7 +382,7 @@ impl JsonWriter {
         self.out.push(']');
     }
 
-    fn key(&mut self, k: &str) {
+    pub(crate) fn key(&mut self, k: &str) {
         if let Some(has) = self.has_item.last_mut() {
             if *has {
                 self.out.push(',');
@@ -395,17 +395,17 @@ impl JsonWriter {
         self.pending_value = true;
     }
 
-    fn str(&mut self, s: &str) {
+    pub(crate) fn str(&mut self, s: &str) {
         self.before_value();
         self.push_escaped(s);
     }
 
-    fn null(&mut self) {
+    pub(crate) fn null(&mut self) {
         self.before_value();
         self.out.push_str("null");
     }
 
-    fn num_u64(&mut self, v: u64, schema: bool) {
+    pub(crate) fn num_u64(&mut self, v: u64, schema: bool) {
         self.before_value();
         if schema {
             self.out.push('0');
@@ -414,7 +414,7 @@ impl JsonWriter {
         }
     }
 
-    fn num_f64(&mut self, v: f64, schema: bool) {
+    pub(crate) fn num_f64(&mut self, v: f64, schema: bool) {
         self.before_value();
         if schema {
             self.out.push('0');

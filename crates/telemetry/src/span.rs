@@ -6,28 +6,49 @@
 //! that opened them — the guard is `!Send` to enforce this), so the
 //! collector can attribute each span to its parent and report the
 //! maximum nesting depth observed.
+//!
+//! Each raw record also carries a start offset (microseconds since the
+//! collector was created) and a process-wide *lane* id for the
+//! recording thread, which is what lets the bounded raw log be
+//! re-exported as a Chrome trace (see [`crate::TraceSpan`]) with one
+//! timeline row per thread.
 
 use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::metrics::Table;
 
 /// Raw span records kept verbatim before aggregation.
-const RAW_CAPACITY: usize = 16_384;
+pub(crate) const RAW_CAPACITY: usize = 16_384;
+
+/// Next unassigned thread lane. Lanes are process-global (not
+/// per-collector) so a thread keeps one stable id across collectors;
+/// they number threads in first-span order, not spawn order.
+static NEXT_LANE: AtomicU32 = AtomicU32::new(0);
 
 thread_local! {
     /// Names of the spans currently open on this thread, outermost first.
     static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+    /// This thread's trace lane, claimed on first use.
+    static LANE: u32 = NEXT_LANE.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The calling thread's trace lane id.
+pub(crate) fn current_lane() -> u32 {
+    LANE.with(|l| *l)
 }
 
 /// One finished span occurrence.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct SpanRecord {
     pub(crate) name: &'static str,
     pub(crate) parent: Option<&'static str>,
     pub(crate) depth: u32,
+    pub(crate) lane: u32,
+    pub(crate) start_us: u64,
     pub(crate) duration_us: u64,
+    pub(crate) args: Vec<(&'static str, f64)>,
 }
 
 /// Per-name aggregate of finished spans.
@@ -147,7 +168,10 @@ mod tests {
             name,
             parent,
             depth,
+            lane: current_lane(),
+            start_us: 0,
             duration_us: 7,
+            args: Vec::new(),
         }
     }
 
@@ -183,5 +207,24 @@ mod tests {
         assert_eq!(agg.total_us.load(Ordering::Relaxed), 21);
         assert_eq!(agg.min_us.load(Ordering::Relaxed), 7);
         assert_eq!(agg.max_us.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn lane_is_stable_per_thread_and_distinct_across_threads() {
+        let here = current_lane();
+        assert_eq!(current_lane(), here);
+        let other = std::thread::spawn(current_lane).join().expect("join");
+        assert_ne!(here, other);
+    }
+
+    #[test]
+    fn raw_log_saturates_and_counts_drops() {
+        let c = SpanCollector::new();
+        for _ in 0..(RAW_CAPACITY + 5) {
+            let (p, d) = c.enter("hot");
+            c.exit(record("hot", p, d));
+        }
+        assert_eq!(c.records().len(), RAW_CAPACITY);
+        assert_eq!(c.dropped(), 5);
     }
 }
