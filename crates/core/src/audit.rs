@@ -194,6 +194,8 @@ pub fn audit_schedule(
         for &e in path.edges() {
             let base = e.index() * num_slots;
             for s in r.start..=r.end {
+                // INDEX: e < num_edges and s ≤ r.end < num_slots by
+                // instance validation; flat edge×slot layout.
                 raw[base + s] += r.rate;
             }
         }

@@ -113,6 +113,7 @@ pub fn solve_blspm_relaxation(
         for (j, path) in paths.iter().enumerate() {
             for &e in path.edges() {
                 for t in r.start..=r.end {
+                    // INDEX: e < num_edges and t ≤ r.end < slots by instance validation; flat edge×slot layout.
                     cell_terms[e.index() * slots + t].push((xvars[i][j], r.rate));
                 }
             }
@@ -120,6 +121,7 @@ pub fn solve_blspm_relaxation(
     }
     for e in 0..topo.num_edges() {
         for t in 0..slots {
+            // INDEX: e < num_edges and t ≤ r.end < slots by instance validation; flat edge×slot layout.
             let terms = &cell_terms[e * slots + t];
             if !terms.is_empty() {
                 p.add_constraint(terms.iter().copied(), Relation::Le, capacities[e]);
@@ -172,6 +174,7 @@ impl CellIndex {
     }
 
     fn cell(&self, edge: usize, t: usize) -> usize {
+        // INDEX: edge < num_edges and t < slots, the map's construction domain.
         self.map[edge * self.slots + t] as usize
     }
 }
@@ -641,6 +644,7 @@ impl BlspmWarmSolver {
             for (j, path) in paths.iter().enumerate() {
                 for &e in path.edges() {
                     for t in r.start..=r.end {
+                        // INDEX: e < num_edges and t ≤ r.end < slots by instance validation; flat edge×slot layout.
                         cell_terms[e.index() * slots + t].push((xvars[i][j], r.rate));
                     }
                 }
@@ -649,6 +653,7 @@ impl BlspmWarmSolver {
         let mut cell_rows = Vec::new();
         for e in 0..topo.num_edges() {
             for t in 0..slots {
+                // INDEX: e < num_edges and t ≤ r.end < slots by instance validation; flat edge×slot layout.
                 let terms = &cell_terms[e * slots + t];
                 if !terms.is_empty() {
                     let row = p.add_constraint(terms.iter().copied(), Relation::Le, 0.0);

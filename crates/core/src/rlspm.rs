@@ -162,6 +162,7 @@ pub fn solve_rlspm_relaxation(
         for (j, path) in paths.iter().enumerate() {
             for &e in path.edges() {
                 for t in r.start..=r.end {
+                    // INDEX: e < num_edges and t ≤ r.end < slots by instance validation; flat edge×slot layout.
                     cell_terms[e.index() * slots + t].push((xvars[i][j], r.rate));
                 }
             }
@@ -169,6 +170,7 @@ pub fn solve_rlspm_relaxation(
     }
     for e in 0..num_edges {
         for t in 0..slots {
+            // INDEX: e < num_edges and t ≤ r.end < slots by instance validation; flat edge×slot layout.
             let terms = &cell_terms[e * slots + t];
             if terms.is_empty() {
                 continue;
@@ -288,6 +290,7 @@ impl RlspmWarmSolver {
             for (j, path) in paths.iter().enumerate() {
                 for &e in path.edges() {
                     for t in r.start..=r.end {
+                        // INDEX: e < num_edges and t ≤ r.end < slots by instance validation; flat edge×slot layout.
                         cell_terms[e.index() * slots + t].push((xvars[i][j], r.rate));
                     }
                 }
@@ -295,6 +298,7 @@ impl RlspmWarmSolver {
         }
         for e in 0..num_edges {
             for t in 0..slots {
+                // INDEX: e < num_edges and t ≤ r.end < slots by instance validation; flat edge×slot layout.
                 let terms = &cell_terms[e * slots + t];
                 if terms.is_empty() {
                     continue;

@@ -141,7 +141,10 @@ impl Schedule {
     /// Checks the link-capacity constraint (2) against explicit per-edge
     /// capacities, e.g. in the bandwidth-limited setting.
     ///
-    /// Returns the first violated `(edge index, slot, load, capacity)`.
+    /// # Errors
+    ///
+    /// Returns the first violated cell as a [`CapacityViolation`]
+    /// carrying `(edge index, slot, load, capacity)`.
     ///
     /// # Panics
     ///

@@ -1,0 +1,4 @@
+/// Parses a solver option string.
+pub fn parse_options(text: &str) -> Result<u32, String> {
+    text.trim().parse().map_err(|_| "bad options".to_string())
+}

@@ -1,0 +1,18 @@
+/// Parses a solver option string.
+///
+/// # Errors
+///
+/// Returns a message when `text` is not an unsigned integer.
+pub fn parse_options(text: &str) -> Result<u32, String> {
+    text.trim().parse().map_err(|_| "bad options".to_string())
+}
+
+/// Restricted visibility is not part of the API surface.
+pub(crate) fn internal(text: &str) -> Result<u32, String> {
+    text.trim().parse().map_err(|_| "bad options".to_string())
+}
+
+/// Returning an iterator of Results is not returning a Result.
+pub fn stream() -> impl Iterator<Item = Result<u32, String>> {
+    std::iter::empty()
+}

@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+fn total_load(loads: &HashMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    for v in loads.values() {
+        total += v;
+    }
+    total
+}

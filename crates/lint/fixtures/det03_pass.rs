@@ -1,0 +1,19 @@
+use std::collections::{BTreeMap, HashMap};
+
+// Ordered source: same accumulation, deterministic order.
+fn total_load(loads: &BTreeMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    for v in loads.values() {
+        total += v;
+    }
+    total
+}
+
+// Unordered source, but an integer accumulator: order-insensitive.
+fn count_busy(busy: &HashMap<u32, u64>) -> u64 {
+    let mut n = 0u64;
+    for v in busy.values() {
+        n += v;
+    }
+    n
+}

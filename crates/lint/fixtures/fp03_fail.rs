@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+fn par_profit(weights: &[f64]) -> f64 {
+    weights.par_iter().map(|w| w * 2.0).sum::<f64>()
+}
+
+fn map_profit(cells: &HashMap<u32, f64>) -> f64 {
+    cells.values().fold(0.0, |acc, v| acc + v)
+}

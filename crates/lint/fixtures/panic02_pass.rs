@@ -1,0 +1,18 @@
+fn justified(load: &[f64], edge: usize, slots: usize, t: usize) -> f64 {
+    // INDEX: edge < num_edges and t < slots by construction; flat layout.
+    load[edge * slots + t]
+}
+
+fn asserted(load: &[f64], edge: usize, slots: usize, t: usize) -> f64 {
+    debug_assert!(edge * slots + t < load.len());
+    load[edge * slots + t]
+}
+
+fn clamped(load: &[f64], i: usize) -> f64 {
+    load[(i + 1).min(load.len() - 1)]
+}
+
+fn plain_and_ranges(load: &[f64], i: usize, m: usize) -> f64 {
+    let window = &load[i * m..(i + 1) * m];
+    window[0] + load[i]
+}

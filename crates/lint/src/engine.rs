@@ -4,8 +4,10 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use crate::items::{self, Item};
 use crate::lexer::{self, Lexed};
-use crate::rules;
+use crate::tree::{self, Tree};
+use crate::{rules, rules2};
 
 /// One lint finding.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -42,6 +44,8 @@ pub struct Allowlist {
 struct AllowEntry {
     rule: String,
     path: String,
+    /// 1-based line in `lint.allow`, for LINT-01 dead-entry reports.
+    line: u32,
 }
 
 impl Allowlist {
@@ -71,7 +75,11 @@ every suppression must say why",
                     idx + 1
                 ));
             }
-            entries.push(AllowEntry { rule, path });
+            entries.push(AllowEntry {
+                rule,
+                path,
+                line: (idx + 1) as u32,
+            });
         }
         Ok(Allowlist { entries })
     }
@@ -96,6 +104,20 @@ every suppression must say why",
             .iter()
             .any(|e| e.rule == rule && e.path == file)
     }
+
+    /// Like [`Allowlist::allows`], but marks the matching entries in
+    /// `used` (parallel to `entries`) so the workspace pass can report
+    /// dead suppressions (LINT-01).
+    fn allows_tracked(&self, rule: &str, file: &str, used: &mut [bool]) -> bool {
+        let mut hit = false;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.rule == rule && e.path == file {
+                hit = true;
+                used[i] = true;
+            }
+        }
+        hit
+    }
 }
 
 /// Everything the rule matchers need to know about one file.
@@ -104,6 +126,10 @@ pub struct FileCtx<'a> {
     pub rel: &'a str,
     /// The lexed source.
     pub lexed: &'a Lexed,
+    /// The brace-matched token tree built from `lexed`.
+    pub trees: &'a [Tree],
+    /// The parsed item list built from `trees`.
+    pub items: &'a [Item],
     /// Whether the whole file is test/bench/example code by location.
     pub is_test_file: bool,
     /// Line ranges (inclusive) covered by `#[cfg(test)]` items.
@@ -270,15 +296,32 @@ fn find_test_regions(lexed: &Lexed) -> Vec<(u32, u32)> {
 /// Lints one source text as if it lived at `rel`. Exposed so fixture
 /// tests can feed synthetic files into any rule's scope.
 pub fn check_source(rel: &str, src: &str, allow: &Allowlist) -> Vec<Diagnostic> {
+    check_source_tracked(rel, src, allow, None)
+}
+
+/// [`check_source`] plus allowlist usage tracking: when `used` is given
+/// (parallel to the allowlist's entries), entries that silence a
+/// finding are marked so [`run_workspace`] can flag the dead ones.
+fn check_source_tracked(
+    rel: &str,
+    src: &str,
+    allow: &Allowlist,
+    mut used: Option<&mut [bool]>,
+) -> Vec<Diagnostic> {
     let lexed = lexer::lex(src);
+    let trees = tree::build(&lexed.tokens);
+    let parsed = items::parse_items(&trees);
     let ctx = FileCtx {
         rel,
         lexed: &lexed,
+        trees: &trees,
+        items: &parsed,
         is_test_file: is_test_path(rel),
         test_regions: find_test_regions(&lexed),
     };
 
     let mut diags = rules::run_all(&ctx);
+    diags.extend(rules2::run_all(&ctx));
 
     let (sups, mut bad_sups) = parse_suppressions(&lexed);
     for d in &mut bad_sups {
@@ -287,13 +330,21 @@ pub fn check_source(rel: &str, src: &str, allow: &Allowlist) -> Vec<Diagnostic> 
 
     // Apply suppressions: a reasoned `allow(RULE)` on line L silences
     // findings of RULE on lines L and L+1; a reasonless one silences
-    // nothing and is itself reported.
+    // nothing and is itself reported. Track which suppressions earned
+    // their keep — a reasoned allow that matched nothing is dead weight
+    // that would silently swallow a future regression (LINT-01).
+    let mut sup_used = vec![false; sups.len()];
     diags.retain(|d| {
-        !sups
-            .iter()
-            .any(|s| s.has_reason && s.rule == d.rule && (s.line == d.line || s.line + 1 == d.line))
+        let mut silenced = false;
+        for (i, s) in sups.iter().enumerate() {
+            if s.has_reason && s.rule == d.rule && (s.line == d.line || s.line + 1 == d.line) {
+                silenced = true;
+                sup_used[i] = true;
+            }
+        }
+        !silenced
     });
-    for s in &sups {
+    for (s, s_used) in sups.iter().zip(&sup_used) {
         if !s.has_reason {
             bad_sups.push(Diagnostic {
                 file: rel.to_string(),
@@ -305,12 +356,26 @@ pub fn check_source(rel: &str, src: &str, allow: &Allowlist) -> Vec<Diagnostic> 
                     s.rule, s.rule
                 ),
             });
+        } else if !s_used {
+            bad_sups.push(Diagnostic {
+                file: rel.to_string(),
+                line: s.line,
+                rule: "LINT-01",
+                message: format!(
+                    "dead suppression: `allow({})` matched no finding on this or \
+the next line — delete it (stale allows hide future regressions)",
+                    s.rule
+                ),
+            });
         }
     }
     diags.extend(bad_sups);
 
     // Blanket allowlist entries silence a whole (rule, file) pair.
-    diags.retain(|d| !allow.allows(d.rule, &d.file.clone()) && !allow.allows(d.rule, rel));
+    diags.retain(|d| match used.as_deref_mut() {
+        Some(u) => !allow.allows_tracked(d.rule, &d.file, u),
+        None => !allow.allows(d.rule, &d.file),
+    });
     diags.sort();
     diags
 }
@@ -358,6 +423,7 @@ pub fn collect_files(root: &Path) -> Vec<PathBuf> {
 /// source file); lint findings are the `Ok` payload.
 pub fn run_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
     let allow = Allowlist::load(root)?;
+    let mut used = vec![false; allow.entries.len()];
     let mut diags = Vec::new();
     for path in collect_files(root) {
         let rel = path
@@ -367,7 +433,24 @@ pub fn run_workspace(root: &Path) -> Result<Vec<Diagnostic>, String> {
             .replace('\\', "/");
         let src = fs::read_to_string(&path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-        diags.extend(check_source(&rel, &src, &allow));
+        diags.extend(check_source_tracked(&rel, &src, &allow, Some(&mut used)));
+    }
+    // A `lint.allow` entry that silenced nothing across the whole pass
+    // is dead: either the code was fixed or the path moved. Both mean
+    // the suppression must go before it hides a new finding.
+    for (e, e_used) in allow.entries.iter().zip(&used) {
+        if !e_used {
+            diags.push(Diagnostic {
+                file: "lint.allow".to_string(),
+                line: e.line,
+                rule: "LINT-01",
+                message: format!(
+                    "dead allowlist entry: `{} {}` matched no finding this run — \
+delete the line",
+                    e.rule, e.path
+                ),
+            });
+        }
     }
     diags.sort();
     Ok(diags)

@@ -1,0 +1,453 @@
+//! A lightweight item parser on top of the token tree.
+//!
+//! Recognizes just enough Rust grammar for the syntax-aware rules:
+//! item kind and name, visibility, attributes, `fn` signatures with
+//! their return-type tokens, and `mod`/`impl` nesting. It is *not* a
+//! real parser — expression grammar, patterns, and generics semantics
+//! are out of scope — but unlike the flat token stream it knows which
+//! `fn` a `pub` belongs to and what the function returns, which is what
+//! rules like API-01 (`Result`-returning fns need an `# Errors` doc
+//! section) require.
+
+use crate::tree::{Delim, Tree};
+
+/// Item visibility, at the granularity rules care about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Vis {
+    /// No visibility keyword.
+    Private,
+    /// `pub(crate)`, `pub(super)`, `pub(in …)` — not public API.
+    Restricted,
+    /// Plain `pub`.
+    Public,
+}
+
+/// What kind of item a parsed item is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `fn` (free, method, or trait-default).
+    Fn,
+    /// `struct`
+    Struct,
+    /// `enum`
+    Enum,
+    /// `trait`
+    Trait,
+    /// `const`
+    Const,
+    /// `static`
+    Static,
+    /// `type`
+    TypeAlias,
+    /// `union`
+    Union,
+    /// `mod` with a body (items recursed into [`Item::children`]).
+    Mod,
+    /// `impl` block (items recursed into [`Item::children`]).
+    Impl,
+    /// `use` declaration.
+    Use,
+}
+
+/// One parsed item.
+#[derive(Clone, Debug)]
+pub struct Item {
+    /// Item kind.
+    pub kind: ItemKind,
+    /// Item name (`fn foo` → `foo`); empty for `impl` and `use`.
+    pub name: String,
+    /// Visibility.
+    pub vis: Vis,
+    /// 1-based line of the item's first token (visibility or keyword —
+    /// doc-comment lookups walk upward from here).
+    pub line: u32,
+    /// For `fn`: the return-type tokens after `->` (empty = unit).
+    pub ret: Vec<String>,
+    /// For `use`: the flattened path tokens (`std :: fmt :: Display`).
+    pub path: Vec<String>,
+    /// Attribute text lines this item carries (flattened token text per
+    /// attribute, e.g. `cfg ( test )`).
+    pub attrs: Vec<String>,
+    /// Nested items of `mod`/`impl` bodies.
+    pub children: Vec<Item>,
+}
+
+/// Parses the items of one tree level (a file root or a `mod`/`impl`
+/// body), recursing into `mod` and `impl` groups.
+pub fn parse_items(trees: &[Tree]) -> Vec<Item> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < trees.len() {
+        if let Some((item, next)) = parse_item(trees, i) {
+            out.push(item);
+            i = next;
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Walks every item in `items` (depth-first, `mod`/`impl` bodies
+/// included), calling `f` with the item and whether any enclosing item
+/// is `#[cfg(test)]`-marked.
+pub fn walk<'a>(items: &'a [Item], f: &mut impl FnMut(&'a Item, bool)) {
+    fn inner<'a>(items: &'a [Item], in_test: bool, f: &mut impl FnMut(&'a Item, bool)) {
+        for it in items {
+            let test_here = in_test || it.is_cfg_test();
+            f(it, test_here);
+            inner(&it.children, test_here, f);
+        }
+    }
+    inner(items, false, f);
+}
+
+impl Item {
+    /// Whether the item carries a `#[cfg(test)]`-like attribute (any
+    /// `cfg` attribute mentioning `test`, plus `#[test]` itself).
+    pub fn is_cfg_test(&self) -> bool {
+        self.attrs.iter().any(|a| {
+            let mut words = a.split_whitespace();
+            match words.next() {
+                Some("cfg") => a.split_whitespace().any(|w| w == "test"),
+                Some("test") => true,
+                _ => false,
+            }
+        })
+    }
+}
+
+/// Tries to parse one item starting at `trees[start]`; returns the item
+/// and the index just past it.
+fn parse_item(trees: &[Tree], start: usize) -> Option<(Item, usize)> {
+    let mut i = start;
+    let mut attrs = Vec::new();
+
+    // Leading outer attributes: `#` `[ … ]`. Inner attributes (`#![…]`)
+    // have a `!` between and are skipped by the caller loop.
+    while i + 1 < trees.len()
+        && trees[i].atom_text() == Some("#")
+        && trees[i + 1]
+            .group()
+            .is_some_and(|g| g.delim == Delim::Bracket)
+    {
+        let g = trees[i + 1].group().expect("checked bracket group");
+        let text: Vec<&str> = g.flat_tokens().iter().map(|t| t.text.as_str()).collect();
+        attrs.push(text.join(" "));
+        i += 2;
+    }
+
+    let first_line = trees.get(i)?.line();
+
+    // Visibility.
+    let mut vis = Vis::Private;
+    if trees[i].atom_text() == Some("pub") {
+        vis = Vis::Public;
+        i += 1;
+        if trees
+            .get(i)
+            .is_some_and(|t| t.group().is_some_and(|g| g.delim == Delim::Paren))
+        {
+            vis = Vis::Restricted;
+            i += 1;
+        }
+    }
+
+    // Modifiers before the item keyword. `const` doubles as an item
+    // keyword and a `const fn` modifier; peek ahead to disambiguate.
+    loop {
+        match trees.get(i).and_then(Tree::atom_text) {
+            Some("async") | Some("unsafe") => i += 1,
+            Some("extern") => {
+                i += 1;
+                // Optional ABI string.
+                if trees
+                    .get(i)
+                    .and_then(Tree::atom)
+                    .is_some_and(|t| t.text.starts_with('"'))
+                {
+                    i += 1;
+                }
+            }
+            Some("const") if trees.get(i + 1).and_then(Tree::atom_text) == Some("fn") => i += 1,
+            _ => break,
+        }
+    }
+
+    let kw = trees.get(i).and_then(Tree::atom_text)?;
+    let kind = match kw {
+        "fn" => ItemKind::Fn,
+        "struct" => ItemKind::Struct,
+        "enum" => ItemKind::Enum,
+        "trait" => ItemKind::Trait,
+        "const" => ItemKind::Const,
+        "static" => ItemKind::Static,
+        "type" => ItemKind::TypeAlias,
+        "union" => ItemKind::Union,
+        "mod" => ItemKind::Mod,
+        "impl" => ItemKind::Impl,
+        "use" => ItemKind::Use,
+        _ => return None,
+    };
+    i += 1;
+
+    let mut item = Item {
+        kind,
+        name: String::new(),
+        vis,
+        line: first_line,
+        ret: Vec::new(),
+        path: Vec::new(),
+        attrs,
+        children: Vec::new(),
+    };
+
+    match kind {
+        ItemKind::Fn => {
+            item.name = trees.get(i).and_then(Tree::atom_text)?.to_string();
+            i += 1;
+            // Generics: skip balanced angles, counting `<<`/`>>` double.
+            i = skip_generics(trees, i);
+            // Parameter list.
+            while i < trees.len() {
+                if trees[i].group().is_some_and(|g| g.delim == Delim::Paren) {
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+            // Return type: tokens after `->` until body/where/`;`.
+            if trees.get(i).and_then(Tree::atom_text) == Some("->") {
+                i += 1;
+                while let Some(t) = trees.get(i) {
+                    match t {
+                        Tree::Atom(tok) => {
+                            if tok.text == "where" || tok.text == ";" {
+                                break;
+                            }
+                            item.ret.push(tok.text.clone());
+                        }
+                        Tree::Group(g) => {
+                            if g.delim == Delim::Brace {
+                                break;
+                            }
+                            for tok in g.flat_tokens() {
+                                item.ret.push(tok.text.clone());
+                            }
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            // Consume through the body brace or terminating `;`.
+            while let Some(t) = trees.get(i) {
+                i += 1;
+                match t {
+                    Tree::Group(g) if g.delim == Delim::Brace => break,
+                    Tree::Atom(tok) if tok.text == ";" => break,
+                    _ => {}
+                }
+            }
+        }
+        ItemKind::Mod => {
+            item.name = trees.get(i).and_then(Tree::atom_text)?.to_string();
+            i += 1;
+            match trees.get(i) {
+                Some(Tree::Group(g)) if g.delim == Delim::Brace => {
+                    item.children = parse_items(&g.trees);
+                    i += 1;
+                }
+                _ => i += 1, // `mod name;`
+            }
+        }
+        ItemKind::Impl => {
+            // Everything up to the body brace is the (generic) type
+            // header; items live inside.
+            while let Some(t) = trees.get(i) {
+                match t {
+                    Tree::Group(g) if g.delim == Delim::Brace => {
+                        item.children = parse_items(&g.trees);
+                        i += 1;
+                        break;
+                    }
+                    Tree::Atom(tok) if tok.text == ";" => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+        }
+        ItemKind::Use => {
+            while let Some(t) = trees.get(i) {
+                match t {
+                    Tree::Atom(tok) => {
+                        if tok.text == ";" {
+                            i += 1;
+                            break;
+                        }
+                        item.path.push(tok.text.clone());
+                        i += 1;
+                    }
+                    Tree::Group(g) => {
+                        for tok in g.flat_tokens() {
+                            item.path.push(tok.text.clone());
+                        }
+                        i += 1;
+                    }
+                }
+            }
+        }
+        _ => {
+            // Named single-token items: struct/enum/trait/const/static/
+            // type/union. Name, then consume to the end of the item.
+            item.name = trees
+                .get(i)
+                .and_then(Tree::atom_text)
+                .unwrap_or_default()
+                .to_string();
+            i += 1;
+            let mut angle = 0i32;
+            while let Some(t) = trees.get(i) {
+                match t {
+                    Tree::Atom(tok) => {
+                        match tok.text.as_str() {
+                            "<" => angle += 1,
+                            "<<" => angle += 2,
+                            ">" => angle -= 1,
+                            ">>" => angle -= 2,
+                            ";" if angle <= 0 => {
+                                i += 1;
+                                break;
+                            }
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                    Tree::Group(g) => {
+                        i += 1;
+                        // A brace group ends struct/enum/trait/union
+                        // bodies; `struct Tuple(u32);` ends at `;`.
+                        if g.delim == Delim::Brace {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    Some((item, i))
+}
+
+/// Skips a balanced generics list starting at `<` (if present),
+/// counting shift tokens as two angles. `->`/`=>` contain angle
+/// characters but are single tokens and are not counted.
+fn skip_generics(trees: &[Tree], mut i: usize) -> usize {
+    if trees.get(i).and_then(Tree::atom_text) != Some("<") {
+        return i;
+    }
+    let mut depth = 0i32;
+    while let Some(t) = trees.get(i) {
+        if let Some(text) = t.atom_text() {
+            match text {
+                "<" => depth += 1,
+                "<<" => depth += 2,
+                ">" => depth -= 1,
+                ">>" => depth -= 2,
+                _ => {}
+            }
+        }
+        i += 1;
+        if depth <= 0 {
+            break;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::tree::build;
+
+    fn items(src: &str) -> Vec<Item> {
+        parse_items(&build(&lex(src).tokens))
+    }
+
+    #[test]
+    fn fn_signature_with_return_type() {
+        let its = items("pub fn load(p: &Path) -> Result<Allowlist, String> { todo() }");
+        assert_eq!(its.len(), 1);
+        assert_eq!(its[0].kind, ItemKind::Fn);
+        assert_eq!(its[0].name, "load");
+        assert_eq!(its[0].vis, Vis::Public);
+        assert!(its[0].ret.iter().any(|t| t == "Result"));
+    }
+
+    #[test]
+    fn generics_do_not_confuse_params() {
+        let its = items("pub fn f<F: Fn(u32) -> bool>(g: F) -> Option<u32> { None }");
+        assert_eq!(its[0].name, "f");
+        assert_eq!(its[0].ret, vec!["Option", "<", "u32", ">"]);
+    }
+
+    #[test]
+    fn impl_and_mod_nest() {
+        let src = "impl Foo { pub fn a(&self) -> Result<(), E> {} fn b(&self) {} }\n\
+                   mod inner { pub fn c() {} }";
+        let its = items(src);
+        assert_eq!(its.len(), 2);
+        assert_eq!(its[0].kind, ItemKind::Impl);
+        assert_eq!(its[0].children.len(), 2);
+        assert_eq!(its[0].children[0].name, "a");
+        assert_eq!(its[0].children[0].vis, Vis::Public);
+        assert_eq!(its[1].kind, ItemKind::Mod);
+        assert_eq!(its[1].children[0].name, "c");
+    }
+
+    #[test]
+    fn cfg_test_marks_subtree() {
+        let src = "#[cfg(test)] mod tests { pub fn helper() -> Result<(), E> {} }\n\
+                   pub fn real() {}";
+        let its = items(src);
+        let mut seen = Vec::new();
+        walk(&its, &mut |it, in_test| {
+            seen.push((it.name.clone(), in_test));
+        });
+        assert!(seen.contains(&("helper".into(), true)));
+        assert!(seen.contains(&("real".into(), false)));
+    }
+
+    #[test]
+    fn restricted_visibility() {
+        let its = items("pub(crate) fn f() {} pub fn g() {}");
+        assert_eq!(its[0].vis, Vis::Restricted);
+        assert_eq!(its[1].vis, Vis::Public);
+    }
+
+    #[test]
+    fn modifiers_before_fn() {
+        let its = items("pub const fn f() -> u32 { 1 }\npub async unsafe fn g() {}");
+        assert_eq!(its[0].kind, ItemKind::Fn);
+        assert_eq!(its[0].name, "f");
+        assert_eq!(its[1].name, "g");
+    }
+
+    #[test]
+    fn use_paths_flatten() {
+        let its = items("use std::collections::{HashMap, BTreeMap};");
+        assert_eq!(its[0].kind, ItemKind::Use);
+        assert!(its[0].path.iter().any(|t| t == "HashMap"));
+    }
+
+    #[test]
+    fn consts_and_structs_terminate() {
+        let its = items(
+            "pub const N: usize = 4;\npub struct S { x: u32 }\npub struct T(u32);\npub fn after() {}",
+        );
+        let names: Vec<_> = its.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, vec!["N", "S", "T", "after"]);
+    }
+}

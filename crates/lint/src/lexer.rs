@@ -36,7 +36,13 @@ pub enum TokenKind {
 pub struct Token {
     /// Token class.
     pub kind: TokenKind,
-    /// Raw text (for [`TokenKind::Literal`], a placeholder).
+    /// Raw text. For [`TokenKind::Literal`] this is the full literal
+    /// *including* its quotes and any `r`/`b`/`#` prefix, so a literal
+    /// can never compare equal to an identifier — rules that match
+    /// ident text stay safe, while consumers that need literal contents
+    /// (the artifact cross-checker reads `pub const` string values) can
+    /// unquote it. For raw identifiers (`r#match`) the `r#` prefix is
+    /// stripped: the token is the identifier it escapes.
     pub text: String,
     /// 1-based source line the token starts on.
     pub line: u32,
@@ -150,12 +156,40 @@ pub fn lex(src: &str) -> Lexed {
             continue;
         }
 
-        // Raw strings and byte strings: r"…", r#"…"#, br"…", b"…".
+        // Raw strings and byte strings: r"…", r#"…"#, br"…", b"…" — and
+        // the two non-string forms sharing these prefix letters: raw
+        // identifiers (`r#match`) and byte-char literals (`b'x'`).
         if c == 'r' || c == 'b' {
             if let Some((next_i, lines)) = try_string_prefix(&chars, i) {
                 out.tokens.push(Token {
                     kind: TokenKind::Literal,
-                    text: "\"…\"".into(),
+                    text: chars[i..next_i].iter().collect(),
+                    line,
+                });
+                line += lines;
+                i = next_i;
+                continue;
+            }
+            if c == 'r' && i + 2 < n && chars[i + 1] == '#' && is_ident_start(chars[i + 2]) {
+                // Raw identifier: `r#type` is the identifier `type`.
+                let start = i + 2;
+                i = start;
+                while i < n && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: chars[start..i].iter().collect(),
+                    line,
+                });
+                continue;
+            }
+            if c == 'b' && i + 1 < n && chars[i + 1] == '\'' && is_char_literal(&chars, i + 1) {
+                // Byte-char literal: `b'x'`, `b'\n'`, `b'\''`.
+                let (next_i, lines) = skip_quoted(&chars, i + 2, '\'');
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    text: chars[i..next_i].iter().collect(),
                     line,
                 });
                 line += lines;
@@ -169,7 +203,7 @@ pub fn lex(src: &str) -> Lexed {
             let (next_i, lines) = skip_quoted(&chars, i + 1, '"');
             out.tokens.push(Token {
                 kind: TokenKind::Literal,
-                text: "\"…\"".into(),
+                text: chars[i..next_i].iter().collect(),
                 line,
             });
             line += lines;
@@ -183,7 +217,7 @@ pub fn lex(src: &str) -> Lexed {
                 let (next_i, lines) = skip_quoted(&chars, i + 1, '\'');
                 out.tokens.push(Token {
                     kind: TokenKind::Literal,
-                    text: "'…'".into(),
+                    text: chars[i..next_i].iter().collect(),
                     line,
                 });
                 line += lines;
@@ -312,7 +346,15 @@ fn skip_quoted(chars: &[char], mut i: usize, quote: char) -> (usize, u32) {
     let mut lines = 0u32;
     while i < n {
         match chars[i] {
-            '\\' => i += 2,
+            '\\' => {
+                // The escaped character may itself be a newline (string
+                // line-continuation); skipping it without counting used
+                // to desynchronize every line number after the literal.
+                if i + 1 < n && chars[i + 1] == '\n' {
+                    lines += 1;
+                }
+                i += 2;
+            }
             '\n' => {
                 lines += 1;
                 i += 1;
@@ -464,6 +506,100 @@ mod tests {
         assert_eq!(kinds[6], ("3".into(), TokenKind::Int));
         assert_eq!(kinds[7], ("4".into(), TokenKind::Int));
         assert_eq!(kinds[8], ("0".into(), TokenKind::Int));
+    }
+
+    #[test]
+    fn raw_strings_with_nested_hashes() {
+        // `r##"…"#…"##`: an inner `"#` must not terminate a `##` string.
+        let src = "let s = r##\"inner \"# quote HashMap\"##; tail";
+        let l = lex(src);
+        assert!(l.tokens.iter().all(|t| t.text != "HashMap"), "{l:?}");
+        assert_eq!(l.tokens.last().unwrap().text, "tail");
+        // More closing hashes than opened: `r#"a"##` is the string plus
+        // a stray `#` token.
+        let l = lex("r#\"a\"## x");
+        assert_eq!(l.tokens[1].text, "#");
+        assert_eq!(l.tokens[2].text, "x");
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let l = lex(r###"let a = b"HashMap\"still"; let b = br#"raw "HashMap""#; z"###);
+        assert!(l
+            .tokens
+            .iter()
+            .all(|t| t.kind != TokenKind::Ident || t.text != "HashMap"));
+        assert_eq!(l.tokens.last().unwrap().text, "z");
+        let lits: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .collect();
+        assert_eq!(lits.len(), 2);
+        assert!(lits[0].text.starts_with("b\""));
+        assert!(lits[1].text.starts_with("br#\""));
+    }
+
+    #[test]
+    fn byte_char_literals() {
+        let l = lex(r"let x = b'a'; let q = b'\''; let n = b'\n'; y");
+        let lits: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lits, vec![r"b'a'", r"b'\''", r"b'\n'"]);
+        assert_eq!(l.tokens.last().unwrap().text, "y");
+    }
+
+    #[test]
+    fn raw_identifiers_strip_prefix() {
+        let l = lex("fn r#match(r#type: u32) {}");
+        let idents: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(idents, vec!["fn", "match", "type", "u32"]);
+    }
+
+    #[test]
+    fn string_line_continuations_keep_line_numbers() {
+        // A `\`-escaped newline inside a string is one more source line;
+        // losing it desynchronizes every later line number.
+        let l = lex("let s = \"a\\\nb\";\nafter");
+        assert_eq!(l.tokens.last().unwrap().text, "after");
+        assert_eq!(l.tokens.last().unwrap().line, 3);
+    }
+
+    #[test]
+    fn multiline_raw_strings_keep_line_numbers() {
+        let l = lex("let s = r#\"one\ntwo\nthree\"#;\nafter");
+        assert_eq!(l.tokens.last().unwrap().text, "after");
+        assert_eq!(l.tokens.last().unwrap().line, 4);
+    }
+
+    #[test]
+    fn deeply_nested_block_comments() {
+        let l = lex("/* a /* b /* c */ b */ a */ x /* /**/ */ y");
+        let texts: Vec<_> = l.tokens.iter().map(|t| t.text.clone()).collect();
+        assert_eq!(texts, vec!["x", "y"]);
+        assert_eq!(l.comments.len(), 2);
+    }
+
+    #[test]
+    fn literal_text_is_preserved_with_quotes() {
+        // Literal tokens keep their full text (quotes included), so a
+        // string literal can never equal an identifier a rule matches.
+        let l = lex("let s = \"HashMap\";");
+        let lit = l
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Literal)
+            .unwrap();
+        assert_eq!(lit.text, "\"HashMap\"");
     }
 
     #[test]

@@ -1,29 +1,44 @@
-//! `metis-lint`: a token-level workspace lint that mechanically enforces
-//! the Metis repo's determinism and accounting invariants.
+//! `metis-lint`: a syntax-aware workspace lint that mechanically
+//! enforces the Metis repo's determinism and accounting invariants.
 //!
 //! The paper's guarantees (MAA's approximation bound, TAA's Chernoff
 //! feasibility) survive only if the implementation keeps exact
 //! accounting and bit-identical determinism across thread counts. The
 //! code patterns that silently break those — unordered map iteration,
-//! NaN-unsafe float comparisons, stray wall-clock reads, rogue thread
-//! spawns — are all lexically recognizable, so this crate hand-rolls a
-//! small Rust lexer ([`lexer`]) and runs eight rule matchers ([`rules`])
-//! over every workspace source file ([`engine`]).
+//! NaN-unsafe float comparisons, order-sensitive float reductions,
+//! stray wall-clock reads, rogue thread spawns — are all syntactically
+//! recognizable, so this crate hand-rolls a small Rust lexer
+//! ([`lexer`]), a brace-matched token tree ([`tree`]), and a
+//! lightweight item parser ([`items`]), then runs the lexical rules
+//! ([`rules`]) and the syntax-aware rules ([`rules2`]) over every
+//! workspace source file ([`engine`]). A separate mode ([`artifacts`])
+//! cross-checks code against committed artifacts (telemetry schema
+//! fixture, DESIGN.md catalogs, README flag docs) so the prose can
+//! never silently drift from the machine. Findings also render as SARIF
+//! ([`sarif`]) for CI annotation upload.
 //!
-//! Run it two ways:
+//! Run it three ways:
 //!
 //! ```text
-//! cargo run -p metis-lint -- --workspace      # CLI, exit 1 on findings
-//! cargo test -p metis-lint                    # the same pass as a #[test]
+//! cargo run -p metis-lint -- --workspace              # CLI, exit 1 on findings
+//! cargo run -p metis-lint -- --workspace --artifacts  # plus drift checks
+//! cargo test -p metis-lint                            # the same pass as a #[test]
 //! ```
 //!
 //! Suppressions: inline `// metis-lint: allow(RULE): reason` (reason
 //! mandatory — a bare `allow` is itself the finding `LINT-00`), or a
 //! `lint.allow` file at the workspace root with `RULE path reason`
-//! lines. The rule catalog and policy live in `DESIGN.md` §8.
+//! lines. Suppressions must stay live: any allow that matches zero
+//! findings is itself the finding `LINT-01`. The rule catalog and
+//! policy live in `DESIGN.md` §8.
 
+pub mod artifacts;
 pub mod engine;
+pub mod items;
 pub mod lexer;
 pub mod rules;
+pub mod rules2;
+pub mod sarif;
+pub mod tree;
 
 pub use engine::{check_source, run_workspace, Allowlist, Diagnostic};

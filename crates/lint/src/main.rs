@@ -1,20 +1,27 @@
-//! CLI entry point: `cargo run -p metis-lint -- --workspace`.
+//! CLI entry point: `cargo run -p metis-lint -- --workspace [--artifacts]`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ! {
-    eprintln!("usage: metis-lint --workspace [--root <dir>]");
+    eprintln!("usage: metis-lint --workspace [--artifacts] [--sarif <out.sarif>] [--root <dir>]");
     std::process::exit(2);
 }
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut workspace = false;
+    let mut artifacts = false;
+    let mut sarif_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workspace" => workspace = true,
+            "--artifacts" => artifacts = true,
+            "--sarif" => match args.next() {
+                Some(path) => sarif_out = Some(PathBuf::from(path)),
+                None => usage(),
+            },
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => usage(),
@@ -37,21 +44,43 @@ fn main() -> ExitCode {
             .unwrap_or_else(|| PathBuf::from("."))
     });
 
-    match metis_lint::run_workspace(&root) {
-        Ok(diags) if diags.is_empty() => {
-            println!("metis-lint: clean ({} rules, 0 findings)", 8);
-            ExitCode::SUCCESS
-        }
-        Ok(diags) => {
-            for d in &diags {
-                println!("{d}");
-            }
-            println!("metis-lint: {} finding(s)", diags.len());
-            ExitCode::FAILURE
-        }
+    let mut diags = match metis_lint::run_workspace(&root) {
+        Ok(diags) => diags,
         Err(e) => {
             eprintln!("metis-lint: error: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+    let mut legs = "lint rules".to_string();
+    if artifacts {
+        match metis_lint::artifacts::run_artifacts(&root) {
+            Ok(more) => diags.extend(more),
+            Err(e) => {
+                eprintln!("metis-lint: error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        legs.push_str(" + artifact checks");
+    }
+    diags.sort();
+
+    if let Some(path) = sarif_out {
+        let doc = metis_lint::sarif::to_sarif(&diags);
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("metis-lint: error: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!("metis-lint: SARIF written to {}", path.display());
+    }
+
+    if diags.is_empty() {
+        println!("metis-lint: clean ({legs}, 0 findings)");
+        ExitCode::SUCCESS
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        println!("metis-lint: {} finding(s)", diags.len());
+        ExitCode::FAILURE
     }
 }

@@ -317,7 +317,7 @@ fn doc01_missing_docs(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
 
 /// Lines covered by outer attributes (`#[...]`, possibly multi-line), so
 /// the doc-comment search can look through them.
-fn attribute_lines(toks: &[Token]) -> Vec<u32> {
+pub(crate) fn attribute_lines(toks: &[Token]) -> Vec<u32> {
     let mut lines = Vec::new();
     let mut i = 0;
     while i < toks.len() {

@@ -1,0 +1,699 @@
+//! Second-generation rule matchers: syntax-aware analyses on the token
+//! tree ([`crate::tree`]) and item parser ([`crate::items`]) that the
+//! flat lexical rules in [`crate::rules`] cannot express.
+//!
+//! | rule | what it catches |
+//! |---|---|
+//! | `DET-03` | `for` loops over unordered sources whose body does float accumulation |
+//! | `FP-03`  | `.sum::<f64>()` / float-`fold` chains fed by unordered sources |
+//! | `PANIC-02` | arithmetic-computed slice indices in solver paths without a bound check or `// INDEX:` note |
+//! | `API-01` | pub `Result`-returning fns in core/lp without an `# Errors` doc section |
+//!
+//! Scoping and the justification escape hatches are documented per rule
+//! and in `DESIGN.md` §8.
+
+use crate::engine::{Diagnostic, FileCtx};
+use crate::items::{self, Item, ItemKind, Vis};
+use crate::lexer::TokenKind;
+use crate::rules::attribute_lines;
+use crate::tree::{Delim, Group, Tree};
+
+/// The one file allowed to fan out and reduce in parallel.
+const REDUCTION_HOME: &str = "crates/core/src/parallel.rs";
+/// Directories whose slice indexing must be visibly bounded.
+const INDEX_PATHS: &[&str] = &["crates/core/src/", "crates/lp/src/"];
+/// Crates whose public `Result` APIs must document failure modes.
+const API_DOC_PATHS: &[&str] = &["crates/core/src/", "crates/lp/src/"];
+
+/// Type and method names whose iteration order is not deterministic.
+const UNORDERED_MARKERS: &[&str] = &[
+    "HashMap",
+    "HashSet",
+    "par_iter",
+    "par_iter_mut",
+    "into_par_iter",
+    "par_bridge",
+    "par_chunks",
+    "par_chunks_mut",
+];
+
+/// Runs every v2 rule against one file.
+pub fn run_all(ctx: &FileCtx<'_>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let sets = IdentSets::collect(ctx);
+    det03_unordered_float_loops(ctx, &sets, &mut out);
+    fp03_unordered_float_reductions(ctx, &sets, &mut out);
+    panic02_computed_indices(ctx, &mut out);
+    api01_result_errors_doc(ctx, &mut out);
+    out
+}
+
+fn diag(ctx: &FileCtx<'_>, line: u32, rule: &'static str, message: String) -> Diagnostic {
+    Diagnostic {
+        file: ctx.rel.to_string(),
+        line,
+        rule,
+        message,
+    }
+}
+
+/// Per-file identifier classification, inferred from declaration-shaped
+/// token patterns (`let x: HashMap<…>`, `m: &HashMap<…>` parameters,
+/// `let mut acc = 0.0`). Heuristic by design: no type inference, but
+/// declarations are where the type names are spelled out.
+struct IdentSets {
+    /// Idents bound to `HashMap`/`HashSet` values.
+    unordered: Vec<String>,
+    /// Idents bound to `f64`/`f32` values.
+    float: Vec<String>,
+}
+
+impl IdentSets {
+    fn collect(ctx: &FileCtx<'_>) -> IdentSets {
+        let toks = &ctx.lexed.tokens;
+        let mut unordered = Vec::new();
+        let mut float = Vec::new();
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Ident {
+                continue;
+            }
+            match t.text.as_str() {
+                // `name : … HashMap` (param or let-with-annotation) and
+                // `name = HashMap::new()` both put the bound ident just
+                // before the nearest `:`/`=` to the left.
+                "HashMap" | "HashSet" => {
+                    if let Some(name) = bound_ident_before(ctx, i) {
+                        unordered.push(name);
+                    }
+                }
+                // Only annotation position (`name : f64`), not casts
+                // or turbofish.
+                "f64" | "f32"
+                    if i >= 2
+                        && toks[i - 1].text == ":"
+                        && toks[i - 2].kind == TokenKind::Ident =>
+                {
+                    float.push(toks[i - 2].text.clone());
+                }
+                _ => {}
+            }
+            // `let mut name = <float literal>`.
+            if t.text == "let"
+                && toks.get(i + 1).is_some_and(|n| n.text == "mut")
+                && toks.get(i + 2).is_some_and(|n| n.kind == TokenKind::Ident)
+                && toks.get(i + 3).is_some_and(|n| n.text == "=")
+                && toks.get(i + 4).is_some_and(|n| n.kind == TokenKind::Float)
+            {
+                float.push(toks[i + 2].text.clone());
+            }
+        }
+        unordered.sort_unstable();
+        unordered.dedup();
+        float.sort_unstable();
+        float.dedup();
+        IdentSets { unordered, float }
+    }
+
+    fn is_unordered(&self, name: &str) -> bool {
+        UNORDERED_MARKERS.contains(&name) || self.unordered.binary_search(&name.to_string()).is_ok()
+    }
+
+    fn is_float(&self, name: &str) -> bool {
+        self.float.binary_search(&name.to_string()).is_ok()
+    }
+}
+
+/// Walks left from the `HashMap`/`HashSet` token at `i` to the ident
+/// the declaration binds: the ident just before the nearest `:` or `=`
+/// within the preceding few tokens.
+fn bound_ident_before(ctx: &FileCtx<'_>, i: usize) -> Option<String> {
+    let toks = &ctx.lexed.tokens;
+    let lo = i.saturating_sub(12);
+    for j in (lo..i).rev() {
+        match toks[j].text.as_str() {
+            ":" | "=" => {
+                let prev = toks.get(j.checked_sub(1)?)?;
+                if prev.kind == TokenKind::Ident {
+                    return Some(prev.text.clone());
+                }
+                return None;
+            }
+            ";" | "{" | "}" => return None,
+            _ => {}
+        }
+    }
+    None
+}
+
+/// `DET-03`: a `for` loop over an unordered source (`HashMap`/`HashSet`
+/// value or a `par_*` iterator) whose body accumulates into a float is
+/// an order-sensitive reduction — float addition does not commute
+/// bitwise, so the result varies run to run. Only
+/// `core/src/parallel.rs` (the index-ordered reduction choke point) may
+/// do this.
+fn det03_unordered_float_loops(ctx: &FileCtx<'_>, sets: &IdentSets, out: &mut Vec<Diagnostic>) {
+    if ctx.rel == REDUCTION_HOME {
+        return;
+    }
+    walk_groups(ctx.trees, &mut |trees| {
+        let mut i = 0usize;
+        while i < trees.len() {
+            if trees[i].atom_text() != Some("for") {
+                i += 1;
+                continue;
+            }
+            let line = trees[i].line();
+            // A loop `for <pat> in <iter> { … }` has an `in` before its
+            // brace; `impl T for X {…}` and `for<'a>` do not.
+            let mut j = i + 1;
+            let mut in_at = None;
+            let mut body_at = None;
+            while j < trees.len() {
+                match &trees[j] {
+                    Tree::Atom(t) if t.text == "in" && in_at.is_none() => in_at = Some(j),
+                    Tree::Atom(t) if t.text == ";" => break,
+                    Tree::Group(g) if g.delim == Delim::Brace => {
+                        body_at = Some(j);
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let (Some(in_at), Some(body_at)) = (in_at, body_at) else {
+                i += 1;
+                continue;
+            };
+            if ctx.in_test(line) {
+                i = body_at + 1;
+                continue;
+            }
+            let mut iter_toks = Vec::new();
+            crate::tree::flatten(&trees[in_at + 1..body_at], &mut iter_toks);
+            let unordered = iter_toks
+                .iter()
+                .any(|t| t.kind == TokenKind::Ident && sets.is_unordered(&t.text));
+            if unordered {
+                let body = trees[body_at].group().expect("checked brace group");
+                if let Some(acc_line) = float_accumulation_line(body, sets) {
+                    out.push(diag(
+                        ctx,
+                        acc_line,
+                        "DET-03",
+                        "float accumulation inside a loop over an unordered source: \
+iteration order varies run to run and float `+=` does not commute bitwise; \
+collect into an index-ordered Vec and reduce via `core/src/parallel.rs`"
+                            .into(),
+                    ));
+                }
+            }
+            i = body_at + 1;
+        }
+    });
+}
+
+/// Finds a float compound-assignment inside a loop body: a `+=`/`-=`/
+/// `*=` whose statement mentions a float literal or a float-typed
+/// ident. Returns the line of the first hit.
+fn float_accumulation_line(body: &Group, sets: &IdentSets) -> Option<u32> {
+    let toks = body.flat_tokens();
+    for (i, t) in toks.iter().enumerate() {
+        if !matches!(t.text.as_str(), "+=" | "-=" | "*=") {
+            continue;
+        }
+        // The statement window around the operator.
+        let start = toks[..i]
+            .iter()
+            .rposition(|t| t.text == ";")
+            .map_or(0, |p| p + 1);
+        let end = toks[i..]
+            .iter()
+            .position(|t| t.text == ";")
+            .map_or(toks.len(), |p| i + p);
+        let window = &toks[start..end];
+        let floaty = window.iter().any(|t| {
+            t.kind == TokenKind::Float || (t.kind == TokenKind::Ident && sets.is_float(&t.text))
+        });
+        if floaty {
+            return Some(t.line);
+        }
+    }
+    None
+}
+
+/// `FP-03`: `.sum::<f64>()`, `.product::<f64>()`, or `.fold(0.0, …)`
+/// at the end of an iterator chain that starts from an unordered source
+/// — same hazard as DET-03, in combinator form.
+fn fp03_unordered_float_reductions(ctx: &FileCtx<'_>, sets: &IdentSets, out: &mut Vec<Diagnostic>) {
+    if ctx.rel == REDUCTION_HOME {
+        return;
+    }
+    let toks = &ctx.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokenKind::Ident || ctx.in_test(t.line) {
+            continue;
+        }
+        let reduction = match t.text.as_str() {
+            // `.sum::<f64>()` / `.product::<f32>()`.
+            "sum" | "product" => {
+                toks.get(i + 1).is_some_and(|n| n.text == "::")
+                    && toks.get(i + 2).is_some_and(|n| n.text == "<")
+                    && toks
+                        .get(i + 3)
+                        .is_some_and(|n| n.text == "f64" || n.text == "f32")
+            }
+            // `.fold(0.0, …)`.
+            "fold" => {
+                toks.get(i + 1).is_some_and(|n| n.text == "(")
+                    && toks.get(i + 2).is_some_and(|n| n.kind == TokenKind::Float)
+            }
+            _ => false,
+        };
+        if !reduction || i == 0 || toks[i - 1].text != "." {
+            continue;
+        }
+        if chain_has_unordered_source(ctx, i - 1, sets) {
+            out.push(diag(
+                ctx,
+                t.line,
+                "FP-03",
+                format!(
+                    "float `{}` over an unordered source: the reduction order is \
+nondeterministic; materialize into an ordered Vec first (or reduce via \
+`core/src/parallel.rs`)",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Walks the method chain leftward from the `.` at `dot` and reports
+/// whether any ident along it (receiver, combinator, or closure body)
+/// is an unordered source.
+fn chain_has_unordered_source(ctx: &FileCtx<'_>, dot: usize, sets: &IdentSets) -> bool {
+    let toks = &ctx.lexed.tokens;
+    let mut j = dot;
+    while j > 0 {
+        j -= 1;
+        match toks[j].text.as_str() {
+            ")" | "]" => {
+                // Skip the balanced group, scanning its contents.
+                let close = toks[j].text.clone();
+                let open = if close == ")" { "(" } else { "[" };
+                let mut depth = 1usize;
+                while j > 0 && depth > 0 {
+                    j -= 1;
+                    if toks[j].text == close {
+                        depth += 1;
+                    } else if toks[j].text == open {
+                        depth -= 1;
+                    } else if toks[j].kind == TokenKind::Ident && sets.is_unordered(&toks[j].text) {
+                        return true;
+                    }
+                }
+            }
+            "." | "::" | "?" | "<" | ">" | "&" => {}
+            _ => {
+                if toks[j].kind == TokenKind::Ident {
+                    if sets.is_unordered(&toks[j].text) {
+                        return true;
+                    }
+                    // An ident continues the chain (receiver or method
+                    // name); anything else ends it.
+                } else {
+                    return false;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// `PANIC-02`: slice indexing with an arithmetic-computed index in a
+/// solver path. `a[i * m + r]` panics (or silently reads the wrong
+/// cell) when the arithmetic drifts from the slice's layout; the site
+/// must carry a visible bound check (`assert!`/`debug_assert!` within
+/// three lines), clamp the index (`.min(…)` inside the brackets), or
+/// justify the invariant with an adjacent `// INDEX:` comment.
+fn panic02_computed_indices(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.under(INDEX_PATHS) {
+        return;
+    }
+    walk_groups(ctx.trees, &mut |trees| {
+        for k in 1..trees.len() {
+            let Some(g) = trees[k].group() else { continue };
+            if g.delim != Delim::Bracket {
+                continue;
+            }
+            // Index position: the bracket follows an expression —
+            // an ident (`load[…]`) or a call/index result (`f(x)[…]`,
+            // `a[i][…]`). Type positions (`&mut [f64]`), array
+            // literals (`= [0; 4]`), attributes (`#[…]`), and macro
+            // brackets (`vec![…]`) all follow something else.
+            let indexes_expr = match &trees[k - 1] {
+                Tree::Atom(t) => {
+                    t.kind == TokenKind::Ident
+                        && !matches!(
+                            t.text.as_str(),
+                            "mut"
+                                | "dyn"
+                                | "ref"
+                                | "in"
+                                | "as"
+                                | "return"
+                                | "break"
+                                | "else"
+                                | "impl"
+                                | "where"
+                                | "const"
+                                | "static"
+                                | "use"
+                                | "pub"
+                                | "move"
+                        )
+                }
+                Tree::Group(prev) => prev.delim != Delim::Brace,
+            };
+            if !indexes_expr {
+                continue;
+            }
+            let line = g.open_line;
+            if ctx.in_test(line) {
+                continue;
+            }
+            if !has_arithmetic_index(g) {
+                continue;
+            }
+            if index_is_justified(ctx, g, line) {
+                continue;
+            }
+            out.push(diag(
+                ctx,
+                line,
+                "PANIC-02",
+                "arithmetic-computed slice index in a solver path without a visible \
+bound: add an `assert!`/`debug_assert!` within three lines, clamp with \
+`.min(…)`, or justify with an adjacent `// INDEX:` comment"
+                    .into(),
+            ));
+        }
+    });
+}
+
+/// Whether the bracket group computes its index arithmetically: a
+/// binary `+ - * / %` at the group's own level (nested bracket groups
+/// are separate index expressions, checked on their own). Ranges
+/// (`a[lo..hi]`) are excluded — slicing is a different pattern.
+fn has_arithmetic_index(g: &Group) -> bool {
+    let mut arithmetic = false;
+    let mut prev_is_operand = false;
+    for t in &g.trees {
+        match t {
+            Tree::Atom(tok) => {
+                if tok.text == ".." || tok.text == "..=" {
+                    return false;
+                }
+                if matches!(tok.text.as_str(), "+" | "-" | "*" | "/" | "%") {
+                    // Binary only: `[*p]` and `[-1]` have no left
+                    // operand and are deref/negation, not arithmetic.
+                    if prev_is_operand {
+                        arithmetic = true;
+                    }
+                    prev_is_operand = false;
+                } else {
+                    prev_is_operand = matches!(
+                        tok.kind,
+                        TokenKind::Ident | TokenKind::Int | TokenKind::Float
+                    );
+                }
+            }
+            Tree::Group(inner) => {
+                // A paren group closes an operand (`(i + 1) * m`); its
+                // *contents* also count (`a[idx(i) + 1]` is computed).
+                if inner.delim == Delim::Paren
+                    && inner
+                        .flat_tokens()
+                        .iter()
+                        .any(|t| matches!(t.text.as_str(), "+" | "-" | "*" | "/" | "%"))
+                {
+                    arithmetic = true;
+                }
+                prev_is_operand = true;
+            }
+        }
+    }
+    arithmetic
+}
+
+/// The three PANIC-02 escape hatches.
+fn index_is_justified(ctx: &FileCtx<'_>, g: &Group, line: u32) -> bool {
+    // (a) `// INDEX: reason` on the same line or up to three above.
+    let lo = line.saturating_sub(3);
+    if ctx
+        .lexed
+        .comments
+        .iter()
+        .any(|c| c.text.contains("INDEX:") && c.end_line >= lo && c.end_line <= line)
+    {
+        return true;
+    }
+    // (b) an assert-family call within three lines above (or on the
+    // line itself — the index may sit inside the assert).
+    if ctx.lexed.tokens.iter().any(|t| {
+        t.kind == TokenKind::Ident
+            && (t.text.starts_with("assert") || t.text.starts_with("debug_assert"))
+            && t.line >= lo
+            && t.line <= line
+    }) {
+        return true;
+    }
+    // (c) the index clamps itself.
+    g.flat_tokens().iter().any(|t| t.text == "min")
+}
+
+/// `API-01`: a public `Result`-returning fn in metis-core/metis-lp must
+/// document its failure modes under an `# Errors` doc section — the
+/// error taxonomy (§6c) is part of the API contract.
+fn api01_result_errors_doc(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
+    if !ctx.under(API_DOC_PATHS) {
+        return;
+    }
+    let attr_lines = attribute_lines(&ctx.lexed.tokens);
+    items::walk(ctx.items, &mut |item: &Item, in_test| {
+        if item.kind != ItemKind::Fn || item.vis != Vis::Public || in_test || ctx.in_test(item.line)
+        {
+            return;
+        }
+        if !returns_result(&item.ret) {
+            return;
+        }
+        let docs = doc_text_above(ctx, &attr_lines, item.line);
+        if !docs.contains("# Errors") {
+            out.push(diag(
+                ctx,
+                item.line,
+                "API-01",
+                format!(
+                    "public fn `{}` returns `Result` but its docs have no `# Errors` \
+section; document when and why it fails",
+                    item.name
+                ),
+            ));
+        }
+    });
+}
+
+/// Whether a return-type token list is `Result`-shaped: `Result` (or a
+/// path ending in it) appears before any `<` — `impl Iterator<Item =
+/// Result<…>>` does not count, the fn itself returns the iterator.
+fn returns_result(ret: &[String]) -> bool {
+    ret.iter()
+        .take_while(|t| t.as_str() != "<")
+        .any(|t| t == "Result")
+}
+
+/// Collects the text of the contiguous doc comments attached to the
+/// item at `item_line`, walking upward through attributes and plain
+/// comments (the same attachment walk DOC-01 uses, but keeping text).
+fn doc_text_above(ctx: &FileCtx<'_>, attr_lines: &[u32], item_line: u32) -> String {
+    let mut collected: Vec<&str> = Vec::new();
+    let mut l = item_line.saturating_sub(1);
+    while l >= 1 {
+        if let Some(c) = ctx.lexed.comments.iter().find(|c| c.doc && c.end_line == l) {
+            collected.push(&c.text);
+            l = c.line.saturating_sub(1);
+            continue;
+        }
+        let transparent = attr_lines.binary_search(&l).is_ok()
+            || ctx.lexed.comments.iter().any(|c| !c.doc && c.end_line == l);
+        if !transparent {
+            break;
+        }
+        l -= 1;
+    }
+    collected.reverse();
+    collected.join("\n")
+}
+
+/// Applies `f` to every sibling list in the tree: the root list and the
+/// children of every group, at any depth.
+fn walk_groups<'a>(trees: &'a [Tree], f: &mut impl FnMut(&'a [Tree])) {
+    f(trees);
+    for t in trees {
+        if let Tree::Group(g) = t {
+            walk_groups(&g.trees, f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::engine::{check_source, Allowlist};
+
+    fn rules_hit(rel: &str, src: &str) -> Vec<&'static str> {
+        let allow = Allowlist::default();
+        let mut rules: Vec<_> = check_source(rel, src, &allow)
+            .into_iter()
+            .map(|d| d.rule)
+            .collect();
+        rules.dedup();
+        rules
+    }
+
+    #[test]
+    fn det03_catches_hashmap_value_loops() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<u32, f64>) -> f64 {\n\
+                       let mut total = 0.0;\n\
+                       for v in m.values() { total += v; }\n\
+                       total\n\
+                   }\n";
+        assert!(rules_hit("crates/bench/src/x.rs", src).contains(&"DET-03"));
+    }
+
+    #[test]
+    fn det03_ignores_ordered_and_int_loops() {
+        let ordered = "use std::collections::BTreeMap;\n\
+                       fn f(m: &BTreeMap<u32, f64>) -> f64 {\n\
+                           let mut total = 0.0;\n\
+                           for v in m.values() { total += v; }\n\
+                           total\n\
+                       }\n";
+        assert_eq!(
+            rules_hit("crates/bench/src/x.rs", ordered),
+            Vec::<&str>::new()
+        );
+        let int_acc = "use std::collections::HashMap;\n\
+                       fn f(m: &HashMap<u32, u64>) -> u64 {\n\
+                           let mut n = 0u64;\n\
+                           for v in m.values() { n += v; }\n\
+                           n\n\
+                       }\n";
+        assert_eq!(
+            rules_hit("crates/bench/src/x.rs", int_acc),
+            Vec::<&str>::new()
+        );
+    }
+
+    #[test]
+    fn det03_is_not_fooled_by_impl_for() {
+        let src = "struct S;\nimpl std::fmt::Debug for S {\n\
+                   fn fmt(&self, f: &mut std::fmt::Formatter) -> std::fmt::Result { Ok(()) }\n}\n";
+        assert_eq!(rules_hit("crates/bench/src/x.rs", src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn fp03_catches_turbofish_sum_from_par_iter() {
+        let src = "fn f(v: &[f64]) -> f64 { v.par_iter().map(|x| x * 2.0).sum::<f64>() }\n";
+        assert_eq!(rules_hit("crates/bench/src/x.rs", src), vec!["FP-03"]);
+    }
+
+    #[test]
+    fn fp03_catches_float_fold_from_hashmap_ident() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<u32, f64>) -> f64 {\n\
+                       m.values().fold(0.0, |a, b| a + b)\n\
+                   }\n";
+        assert_eq!(rules_hit("crates/bench/src/x.rs", src), vec!["FP-03"]);
+    }
+
+    #[test]
+    fn fp03_allows_ordered_sources() {
+        let src = "fn f(v: &[f64]) -> f64 { v.iter().sum::<f64>() }\n";
+        assert_eq!(rules_hit("crates/bench/src/x.rs", src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn panic02_catches_flat_matrix_indexing() {
+        let src = "fn f(a: &[f64], i: usize, m: usize) -> f64 { a[i * m + 1] }\n";
+        assert_eq!(rules_hit("crates/lp/src/x.rs", src), vec!["PANIC-02"]);
+        // Same code outside the solver paths is fine.
+        assert_eq!(rules_hit("crates/bench/src/x.rs", src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn panic02_escape_hatches() {
+        let idx_comment = "fn f(a: &[f64], i: usize, m: usize) -> f64 {\n\
+                           // INDEX: i < rows and m is the stride, by construction\n\
+                           a[i * m + 1]\n}\n";
+        assert_eq!(
+            rules_hit("crates/lp/src/x.rs", idx_comment),
+            Vec::<&str>::new()
+        );
+        let asserted = "fn f(a: &[f64], i: usize, m: usize) -> f64 {\n\
+                        debug_assert!(i * m + 1 < a.len());\n\
+                        a[i * m + 1]\n}\n";
+        assert_eq!(
+            rules_hit("crates/lp/src/x.rs", asserted),
+            Vec::<&str>::new()
+        );
+        let clamped = "fn f(a: &[f64], i: usize, n: usize) -> f64 { a[(i + 1).min(n)] }\n";
+        assert_eq!(rules_hit("crates/lp/src/x.rs", clamped), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn panic02_skips_plain_and_range_indexing() {
+        let plain = "fn f(a: &[f64], i: usize) -> f64 { a[i] }\n";
+        assert_eq!(rules_hit("crates/lp/src/x.rs", plain), Vec::<&str>::new());
+        let range = "fn f(a: &[f64], i: usize, m: usize) -> &[f64] { &a[i * m..(i + 1) * m] }\n";
+        assert_eq!(rules_hit("crates/lp/src/x.rs", range), Vec::<&str>::new());
+        let types = "fn f(x: &mut [f64]) -> [u8; 4] { [0; 4] }\n";
+        assert_eq!(rules_hit("crates/lp/src/x.rs", types), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn api01_requires_errors_section() {
+        let missing = "/// Loads the thing.\npub fn load() -> Result<u32, String> { Ok(1) }\n";
+        assert_eq!(rules_hit("crates/lp/src/x.rs", missing), vec!["API-01"]);
+        let documented = "/// Loads the thing.\n///\n/// # Errors\n///\n\
+                          /// Returns a message when the file is unreadable.\n\
+                          pub fn load() -> Result<u32, String> { Ok(1) }\n";
+        assert_eq!(
+            rules_hit("crates/lp/src/x.rs", documented),
+            Vec::<&str>::new()
+        );
+    }
+
+    #[test]
+    fn api01_skips_non_result_restricted_and_methods_in_test() {
+        let unit = "/// Doc.\npub fn f() {}\n";
+        assert_eq!(rules_hit("crates/lp/src/x.rs", unit), Vec::<&str>::new());
+        let restricted = "pub(crate) fn f() -> Result<(), E> { Ok(()) }\n";
+        assert_eq!(
+            rules_hit("crates/lp/src/x.rs", restricted),
+            Vec::<&str>::new()
+        );
+        let iter =
+            "/// Doc.\npub fn f() -> impl Iterator<Item = Result<u32, E>> { std::iter::empty() }\n";
+        assert_eq!(rules_hit("crates/lp/src/x.rs", iter), Vec::<&str>::new());
+        let in_test = "#[cfg(test)]\nmod tests {\n    pub fn f() -> Result<(), E> { Ok(()) }\n}\n";
+        assert_eq!(rules_hit("crates/lp/src/x.rs", in_test), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn api01_sees_impl_methods() {
+        let src = "struct S;\nimpl S {\n    /// Doc.\n    pub fn go(&self) -> Result<(), E> { Ok(()) }\n}\n";
+        assert_eq!(rules_hit("crates/core/src/x.rs", src), vec!["API-01"]);
+    }
+}

@@ -1,0 +1,104 @@
+//! SARIF 2.1.0 export so lint findings surface as code annotations in
+//! CI (GitHub's code-scanning upload consumes exactly this shape).
+//! Hand-serialized — the document is small and fixed, and the lint
+//! crate stays dependency-free.
+
+use crate::engine::Diagnostic;
+
+const SCHEMA: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+
+/// Renders the findings (lint and artifact checks alike) as a complete
+/// single-run SARIF 2.1.0 document.
+pub fn to_sarif(diags: &[Diagnostic]) -> String {
+    let mut rule_ids: Vec<&str> = diags.iter().map(|d| d.rule).collect();
+    rule_ids.sort_unstable();
+    rule_ids.dedup();
+    let rules = rule_ids
+        .iter()
+        .map(|id| format!("{{\"id\":{}}}", escape(id)))
+        .collect::<Vec<_>>()
+        .join(",");
+    let results = diags
+        .iter()
+        .map(|d| {
+            format!(
+                "{{\"ruleId\":{rule},\"level\":\"error\",\"message\":{{\"text\":{msg}}},\
+\"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":{uri},\
+\"uriBaseId\":\"%SRCROOT%\"}},\"region\":{{\"startLine\":{line}}}}}}}]}}",
+                rule = escape(d.rule),
+                msg = escape(&d.message),
+                uri = escape(&d.file),
+                line = d.line.max(1),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"$schema\":{schema},\"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":\
+{{\"name\":\"metis-lint\",\"informationUri\":\
+\"https://example.invalid/metis-lint\",\"rules\":[{rules}]}}}},\
+\"results\":[{results}]}}]}}",
+        schema = escape(SCHEMA),
+    )
+}
+
+/// JSON string literal (quotes included) for `s`.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sarif_document_is_wellformed() {
+        let diags = vec![
+            Diagnostic {
+                file: "crates/core/src/x.rs".into(),
+                line: 7,
+                rule: "DET-01",
+                message: "no \"hash\" maps\nhere".into(),
+            },
+            Diagnostic {
+                file: "lint.allow".into(),
+                line: 2,
+                rule: "LINT-01",
+                message: "dead entry".into(),
+            },
+        ];
+        let doc = to_sarif(&diags);
+        assert!(doc.contains("\"version\":\"2.1.0\""));
+        assert!(doc.contains("\"ruleId\":\"DET-01\""));
+        assert!(doc.contains("\"startLine\":7"));
+        assert!(doc.contains("no \\\"hash\\\" maps\\nhere"));
+        // Exactly one rules array with both ids, deduplicated and sorted.
+        assert!(doc.contains("{\"id\":\"DET-01\"},{\"id\":\"LINT-01\"}"));
+        // Balanced braces — cheap structural sanity without a JSON dep.
+        let open = doc.matches('{').count();
+        let close = doc.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn empty_findings_still_render_a_run() {
+        let doc = to_sarif(&[]);
+        assert!(doc.contains("\"results\":[]"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Brace-matched token trees: the structural layer between the flat
+//! lexer stream and the item parser.
+//!
+//! A [`Tree`] is either a single token or a delimited group (`(…)`,
+//! `[…]`, `{…}`) containing a subtree. Building the tree once lets
+//! rules reason about *structure* the flat stream cannot express: "the
+//! body of this `for` loop", "the expression inside this index
+//! bracket", "the items of this `impl` block". Angle brackets are not
+//! groups — `<`/`>` double as comparison operators, so generics are
+//! handled by the consumers that need them ([`crate::items`]).
+//!
+//! The builder never fails: a stray closer becomes an atom, an
+//! unterminated group closes at end of input. The linter must degrade
+//! gracefully on any input; rustc rejects such files anyway.
+
+use crate::lexer::Token;
+
+/// Group delimiter kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Delim {
+    /// `( … )`
+    Paren,
+    /// `[ … ]`
+    Bracket,
+    /// `{ … }`
+    Brace,
+}
+
+impl Delim {
+    fn open(c: &str) -> Option<Delim> {
+        match c {
+            "(" => Some(Delim::Paren),
+            "[" => Some(Delim::Bracket),
+            "{" => Some(Delim::Brace),
+            _ => None,
+        }
+    }
+
+    fn close(self) -> &'static str {
+        match self {
+            Delim::Paren => ")",
+            Delim::Bracket => "]",
+            Delim::Brace => "}",
+        }
+    }
+}
+
+/// One node of the token tree.
+#[derive(Clone, Debug)]
+pub enum Tree {
+    /// A single non-delimiter token.
+    Atom(Token),
+    /// A delimited group.
+    Group(Group),
+}
+
+/// A delimited group and its contents.
+#[derive(Clone, Debug)]
+pub struct Group {
+    /// Which delimiter pair wraps the group.
+    pub delim: Delim,
+    /// 1-based line of the opening delimiter.
+    pub open_line: u32,
+    /// 1-based line of the closing delimiter (last content line when
+    /// unterminated).
+    pub close_line: u32,
+    /// Child trees in source order.
+    pub trees: Vec<Tree>,
+}
+
+impl Tree {
+    /// The atom's token, if this is an atom.
+    pub fn atom(&self) -> Option<&Token> {
+        match self {
+            Tree::Atom(t) => Some(t),
+            Tree::Group(_) => None,
+        }
+    }
+
+    /// The atom's text, if this is an atom.
+    pub fn atom_text(&self) -> Option<&str> {
+        self.atom().map(|t| t.text.as_str())
+    }
+
+    /// The group, if this is one.
+    pub fn group(&self) -> Option<&Group> {
+        match self {
+            Tree::Atom(_) => None,
+            Tree::Group(g) => Some(g),
+        }
+    }
+
+    /// 1-based line this tree starts on.
+    pub fn line(&self) -> u32 {
+        match self {
+            Tree::Atom(t) => t.line,
+            Tree::Group(g) => g.open_line,
+        }
+    }
+}
+
+impl Group {
+    /// All tokens inside the group, descending into nested groups,
+    /// delimiters excluded.
+    pub fn flat_tokens(&self) -> Vec<&Token> {
+        let mut out = Vec::new();
+        flatten(&self.trees, &mut out);
+        out
+    }
+}
+
+/// Collects every atom token in `trees`, in source order, descending
+/// into groups (group delimiters themselves are not tokens here).
+pub fn flatten<'a>(trees: &'a [Tree], out: &mut Vec<&'a Token>) {
+    for t in trees {
+        match t {
+            Tree::Atom(tok) => out.push(tok),
+            Tree::Group(g) => flatten(&g.trees, out),
+        }
+    }
+}
+
+/// Builds the token tree for a whole file's token stream.
+pub fn build(tokens: &[Token]) -> Vec<Tree> {
+    let mut i = 0usize;
+    build_until(tokens, &mut i, None)
+}
+
+fn build_until(tokens: &[Token], i: &mut usize, closing: Option<&str>) -> Vec<Tree> {
+    let mut out = Vec::new();
+    while *i < tokens.len() {
+        let t = &tokens[*i];
+        if let Some(close) = closing {
+            if t.text == close {
+                return out;
+            }
+        }
+        if let Some(delim) = Delim::open(&t.text) {
+            let open_line = t.line;
+            *i += 1;
+            let trees = build_until(tokens, i, Some(delim.close()));
+            let close_line = if *i < tokens.len() {
+                tokens[*i].line
+            } else {
+                tokens.last().map_or(open_line, |last| last.line)
+            };
+            *i += 1; // past the closer (or EOF)
+            out.push(Tree::Group(Group {
+                delim,
+                open_line,
+                close_line,
+                trees,
+            }));
+            continue;
+        }
+        if matches!(t.text.as_str(), ")" | "]" | "}") {
+            // Stray closer for some *other* delimiter (or unbalanced
+            // input): keep it as an atom and carry on.
+            out.push(Tree::Atom(t.clone()));
+            *i += 1;
+            continue;
+        }
+        out.push(Tree::Atom(t.clone()));
+        *i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree_of(src: &str) -> Vec<Tree> {
+        build(&lex(src).tokens)
+    }
+
+    #[test]
+    fn groups_nest() {
+        let t = tree_of("fn f(a: u32) { g(a[0]); }");
+        // fn, f, (…), {…}
+        assert_eq!(t.len(), 4);
+        let body = t[3].group().unwrap();
+        assert_eq!(body.delim, Delim::Brace);
+        // g, (…), ;
+        assert_eq!(body.trees.len(), 3);
+        let call = body.trees[1].group().unwrap();
+        assert_eq!(call.delim, Delim::Paren);
+        // a, […]
+        assert_eq!(call.trees.len(), 2);
+        assert_eq!(call.trees[1].group().unwrap().delim, Delim::Bracket);
+    }
+
+    #[test]
+    fn lines_span_groups() {
+        let t = tree_of("{\n x\n}");
+        let g = t[0].group().unwrap();
+        assert_eq!((g.open_line, g.close_line), (1, 3));
+    }
+
+    #[test]
+    fn unbalanced_input_degrades() {
+        // Unterminated group closes at EOF; stray closer becomes an atom.
+        let t = tree_of("f(a");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[1].group().unwrap().trees.len(), 1);
+        let t = tree_of(") x");
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].atom_text(), Some(")"));
+    }
+
+    #[test]
+    fn flatten_walks_in_order() {
+        let t = tree_of("a { b [ c ] d } e");
+        let mut toks = Vec::new();
+        flatten(&t, &mut toks);
+        let texts: Vec<_> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["a", "b", "c", "d", "e"]);
+    }
+}

@@ -1,0 +1,84 @@
+//! Artifacts-mode integration tests: the real checkout must be
+//! drift-free, and injected drift in each artifact must be caught with
+//! a dotted-path message.
+
+use std::path::{Path, PathBuf};
+
+use metis_lint::artifacts::{
+    check_design_catalog, check_schema_fixture, extract_names, run_artifacts,
+};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate lives at <root>/crates/lint")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_artifacts_are_drift_free() {
+    let findings = run_artifacts(&workspace_root()).expect("artifact files readable");
+    assert!(
+        findings.is_empty(),
+        "artifact drift:\n{}",
+        findings
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn injected_schema_metric_is_caught_with_dotted_path() {
+    let root = workspace_root();
+    let names =
+        extract_names(&std::fs::read_to_string(root.join("crates/telemetry/src/lib.rs")).unwrap());
+    let fixture =
+        std::fs::read_to_string(root.join("tests/fixtures/telemetry_schema.json")).unwrap();
+    // The pristine fixture is clean …
+    assert!(check_schema_fixture(&fixture, &names).is_empty());
+    // … and a fake counter drifts it. Splice the name into the real
+    // counters object rather than a synthetic document, so the test
+    // exercises the fixture's actual shape.
+    let drifted = fixture.replacen(
+        "\"counters\": {",
+        "\"counters\": {\n    \"lp.totally_fake_metric\": 1,",
+        1,
+    );
+    assert_ne!(drifted, fixture, "fixture must contain a counters object");
+    let findings = check_schema_fixture(&drifted, &names);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "ART-01");
+    assert!(
+        findings[0]
+            .message
+            .contains("counters.lp.totally_fake_metric"),
+        "finding must name the drift by dotted path: {}",
+        findings[0]
+    );
+}
+
+#[test]
+fn removed_catalog_row_is_caught() {
+    let root = workspace_root();
+    let names =
+        extract_names(&std::fs::read_to_string(root.join("crates/telemetry/src/lib.rs")).unwrap());
+    let design = std::fs::read_to_string(root.join("DESIGN.md")).unwrap();
+    assert!(check_design_catalog(&design, &names).is_empty());
+    // Deleting a real catalog row must be reported as a missing name.
+    let row_start = design
+        .find("| `taa.mu` |")
+        .expect("catalog row for taa.mu exists");
+    let row_end = row_start + design[row_start..].find('\n').unwrap() + 1;
+    let drifted = format!("{}{}", &design[..row_start], &design[row_end..]);
+    let findings = check_design_catalog(&drifted, &names);
+    assert_eq!(findings.len(), 1, "{findings:?}");
+    assert_eq!(findings[0].rule, "ART-02");
+    assert!(
+        findings[0].message.contains("catalog.taa.mu") && findings[0].message.contains("missing"),
+        "{}",
+        findings[0]
+    );
+}

@@ -41,6 +41,22 @@ const CASES: &[(&str, &str, &[&str])] = &[
         &["LINT-00", "PANIC-01"],
     ),
     ("lint00_pass.rs", "crates/lp/src/fixture.rs", &[]),
+    // v2 rules: syntax-aware analyses on the token tree / item parser.
+    ("det03_fail.rs", "crates/bench/src/fixture.rs", &["DET-03"]),
+    ("det03_pass.rs", "crates/bench/src/fixture.rs", &[]),
+    ("fp03_fail.rs", "crates/bench/src/fixture.rs", &["FP-03"]),
+    ("fp03_pass.rs", "crates/bench/src/fixture.rs", &[]),
+    ("panic02_fail.rs", "crates/lp/src/fixture.rs", &["PANIC-02"]),
+    // Every escape hatch: // INDEX:, debug_assert!, .min(…), ranges.
+    ("panic02_pass.rs", "crates/lp/src/fixture.rs", &[]),
+    ("api01_fail.rs", "crates/lp/src/fixture.rs", &["API-01"]),
+    ("api01_pass.rs", "crates/lp/src/fixture.rs", &[]),
+    // A reasoned suppression that matches nothing is dead weight.
+    ("lint01_fail.rs", "crates/lp/src/fixture.rs", &["LINT-01"]),
+    ("lint01_pass.rs", "crates/lp/src/fixture.rs", &[]),
+    // Lexer hardening: raw/byte strings, nested comments, raw idents —
+    // scary names inside literals must not reach any rule.
+    ("lexer_forms_pass.rs", "crates/lp/src/fixture.rs", &[]),
 ];
 
 #[test]
@@ -61,14 +77,15 @@ fn every_rule_has_a_live_failing_and_clean_passing_fixture() {
     }
     covered.sort_unstable();
     covered.dedup();
-    // The catalog: all 8 rules plus the suppression meta-rule.
+    // The catalog: 8 lexical rules, 4 syntax-aware v2 rules, and the
+    // two suppression meta-rules.
     assert_eq!(
         covered,
         [
-            "CONC-01", "DET-01", "DET-02", "DOC-01", "FP-01", "FP-02", "LINT-00", "PANIC-01",
-            "SAFE-01"
+            "API-01", "CONC-01", "DET-01", "DET-02", "DET-03", "DOC-01", "FP-01", "FP-02", "FP-03",
+            "LINT-00", "LINT-01", "PANIC-01", "PANIC-02", "SAFE-01"
         ],
         "every rule must be proven live by at least one failing fixture"
     );
-    assert!(CASES.len() >= 16, "issue requires ≥16 fixtures");
+    assert!(CASES.len() >= 28, "every rule needs a pass/fail pair");
 }

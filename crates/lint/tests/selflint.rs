@@ -1,0 +1,45 @@
+//! The linter must hold itself to its own rules: every source file of
+//! `crates/lint`, checked under its real workspace-relative path with
+//! the real allowlist, reports nothing. (The workspace test covers this
+//! transitively, but a dedicated test keeps the property obvious and
+//! localizes the failure when the lint crate regresses itself.)
+
+use std::path::Path;
+
+use metis_lint::engine::collect_files;
+use metis_lint::{check_source, Allowlist};
+
+#[test]
+fn lint_crate_is_clean_under_its_own_rules() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate lives at <root>/crates/lint");
+    let allow = Allowlist::load(root).expect("lint.allow parses");
+    let mut checked = 0usize;
+    for path in collect_files(root) {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        if !rel.starts_with("crates/lint/") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).unwrap();
+        let diags = check_source(&rel, &src, &allow);
+        assert!(
+            diags.is_empty(),
+            "metis-lint flags its own source {rel}:\n{}",
+            diags
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+        checked += 1;
+    }
+    // lexer, tree, items, rules, rules2, engine, artifacts, sarif, lib,
+    // main, plus the test files themselves.
+    assert!(checked >= 10, "only {checked} lint-crate files collected");
+}

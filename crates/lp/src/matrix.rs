@@ -42,6 +42,7 @@ impl CscMatrix {
     /// Panics if `j >= self.ncols()`.
     pub fn col(&self, j: usize) -> ColView<'_> {
         let lo = self.col_ptr[j];
+        // INDEX: col_ptr has ncols()+1 entries (CSR invariant), so j+1 is in range for j < ncols().
         let hi = self.col_ptr[j + 1];
         ColView {
             rows: &self.row_idx[lo..hi],
@@ -168,6 +169,7 @@ impl SparseTriangular {
     ///
     /// Panics if `k ≥ dim()`.
     pub fn group(&self, k: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        // INDEX: ptr has dim()+1 entries (CSR invariant), so k+1 is in range for k < dim().
         self.idx[self.ptr[k]..self.ptr[k + 1]]
             .iter()
             .zip(&self.val[self.ptr[k]..self.ptr[k + 1]])
@@ -195,6 +197,7 @@ impl SparseTriangular {
             }
             let xk = x[k];
             if xk != 0.0 {
+                // INDEX: ptr has dim()+1 entries (CSR invariant), so k+1 is in range for k < dim().
                 for (&p, &v) in self.idx[self.ptr[k]..self.ptr[k + 1]]
                     .iter()
                     .zip(&self.val[self.ptr[k]..self.ptr[k + 1]])
@@ -217,6 +220,7 @@ impl SparseTriangular {
         let m = self.dim();
         for k in (0..m).rev() {
             let mut acc = x[k];
+            // INDEX: ptr has dim()+1 entries (CSR invariant), so k+1 is in range for k < dim().
             for (&p, &v) in self.idx[self.ptr[k]..self.ptr[k + 1]]
                 .iter()
                 .zip(&self.val[self.ptr[k]..self.ptr[k + 1]])
